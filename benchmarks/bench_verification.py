@@ -1,0 +1,11 @@
+"""The one-page verification: every paper claim vs the model, persisted."""
+
+from repro.perf.report import build_report, render_report
+
+
+def test_report_verification(report, benchmark):
+    claims = build_report()
+    report(render_report(claims))
+    failed = [c for c in claims if not c.passed]
+    assert not failed, [c.statement for c in failed]
+    benchmark.pedantic(build_report, rounds=3, iterations=1)

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and report sink.
+
+Every benchmark prints the regenerated table/figure rows (the same
+rows/series the paper reports) and appends them to
+``benchmarks/out/report.txt`` so the output survives pytest's capture.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints AND persists a report block."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "report.txt"
+    if path.exists():
+        path.unlink()
+
+    def emit(text: str) -> None:
+        print("\n" + text)
+        with open(path, "a") as fh:
+            fh.write(text + "\n\n")
+
+    return emit
+
+
+def pytest_report_header(config):
+    return "repro paper-reproduction benchmarks (tables II-IV, figures 7-10)"

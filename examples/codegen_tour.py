@@ -1,0 +1,79 @@
+"""Code-generation tour: one kernel source, every generated code path.
+
+The paper's Fig. 4 workflow: the high-level `op_par_loop` declaration
+is parsed and specialized into concrete parallel code per target. This
+script prints the *actual generated Python source* for mini-Hydra's
+edge-flux kernel under each backend — the sequential gather/call
+wrapper and the vectorized variants with atomic vs colored scatter —
+exactly the "human readable generated code" the paper describes.
+
+Run:  python examples/codegen_tour.py
+"""
+
+from repro import op2
+from repro.hydra.kernels import flux_edge
+from repro.op2.codegen.csource import generate_cuda, generate_openmp
+from repro.op2.codegen.seq import generate_sequential
+from repro.op2.codegen.vector import generate_vectorized
+
+# the loop signature of mini-Hydra's hot loop: two indirect state reads,
+# the edge-weight read, two indirect residual increments, one constant
+SIGNATURE = (
+    ("dat", op2.READ, "idx", 5, 2),
+    ("dat", op2.READ, "idx", 5, 2),
+    ("dat", op2.READ, "direct", 3, 0),
+    ("dat", op2.INC, "idx", 5, 2),
+    ("dat", op2.INC, "idx", 5, 2),
+    ("gbl", op2.READ, 1),
+)
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    kernel = op2.Kernel(flux_edge)
+
+    banner("THE SCIENCE SOURCE — one scalar elemental kernel "
+           "(no parallelism anywhere)")
+    print(kernel.source)
+
+    banner("GENERATED: sequential backend (gather views, call the kernel)")
+    print(generate_sequential(kernel.name, SIGNATURE))
+
+    banner("GENERATED: vectorized backend, ATOMIC scatter "
+           "(np.add.at — the CUDA-atomics analogue)")
+    src = generate_vectorized(kernel, SIGNATURE, "atomic")
+    print(src)
+
+    banner("GENERATED: vectorized backend, COLORED scatter "
+           "(plain += on conflict-free groups — the OpenMP analogue)")
+    src = generate_vectorized(kernel, SIGNATURE, "colored")
+    # the compute body is identical; show where the two variants differ
+    for line in src.splitlines():
+        print(line)
+
+    banner("GENERATED: the CUDA source OP2 would emit for this loop "
+           "(the atomics backend simulates it)")
+    print(generate_cuda(kernel, SIGNATURE))
+
+    banner("GENERATED: the OpenMP block-color source "
+           "(the blockcolor backend simulates it)")
+    print(generate_openmp(kernel, SIGNATURE))
+
+    banner("the difference between the two scatter strategies")
+    atomic_lines = set(generate_vectorized(kernel, SIGNATURE,
+                                           "atomic").splitlines())
+    for line in src.splitlines():
+        if line not in atomic_lines and line.strip():
+            print("  colored:", line.strip())
+    for line in sorted(atomic_lines - set(src.splitlines())):
+        if line.strip():
+            print("  atomic: ", line.strip())
+
+
+if __name__ == "__main__":
+    main()

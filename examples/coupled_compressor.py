@@ -1,0 +1,73 @@
+"""Coupled mini-Rig250: the paper's headline simulation at laptop scale.
+
+Assembles the full 10-row compressor (IGV + 4 rotor/stator stages +
+OGV, 9 sliding-plane interfaces), runs it coupled — Hydra Sessions
+talking to Coupler Units over simulated MPI, with the ADT donor search
+moving every step as the rotors spin — and reports the Fig-10-style
+outcome: pressure rising monotonically through the stages, a
+continuous solution across every sliding plane, and the coupler-wait
+share of the step time.
+
+Run:  python examples/coupled_compressor.py [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.coupler import CoupledDriver, CoupledRunConfig
+from repro.hydra import FlowState, Numerics
+from repro.mesh import rig250_config
+from repro.util.ascii_plot import render_field
+from repro.util.tables import format_table
+
+
+def main(steps: int = 48) -> None:
+    rig = rig250_config(nr=3, nt=16, nx=4, rows=10,
+                        steps_per_revolution=128, rpm=11_000)
+    print(f"mini-Rig250: {rig.n_rows} rows, {rig.n_interfaces} sliding "
+          f"interfaces, {rig.total_nodes} mesh nodes")
+    print(f"running {steps} outer steps "
+          f"(= {steps / rig.steps_per_revolution:.2f} revolutions)\n")
+
+    cfg = CoupledRunConfig(
+        rig=rig,
+        ranks_per_row=1,
+        cus_per_interface=1,
+        search="adt",
+        numerics=Numerics(inner_iters=4),
+        inlet=FlowState(ux=0.5),      # axial inflow, Mach ~0.42
+        p_out=1.05,                   # back pressure drives compression
+    )
+    result = CoupledDriver(cfg).run(steps)
+
+    rows = []
+    prev = None
+    for row in result.rows:
+        p = float(np.mean(row["stations_p"]))
+        rows.append([row["name"], p,
+                     "" if prev is None else f"{p - prev:+.4f}"])
+        prev = p
+    print(format_table(["row", "mean static p", "rise"], rows,
+                       title="pressure through the machine", floatfmt=".4f"))
+
+    field, marks = result.mid_cut()
+    print("\n" + render_field(
+        field, width=100, height=16,
+        title="static pressure, mid-radius cylindrical cut "
+              "(the paper's Fig. 10 surface; | marks sliding interfaces)",
+        xlabel="axial ->",
+        column_marks=marks))
+
+    stats = result.total_search_stats()
+    print(f"\noverall pressure ratio: {result.pressure_ratio():.3f}")
+    print(f"interface continuity (wiggle metric): "
+          f"{result.interface_wiggle():.4f}  — the paper's 'absence of "
+          f"wiggles'")
+    print(f"coupler wait fraction: {result.coupler_wait_fraction():.3f}")
+    print(f"donor searches: {stats.queries} queries, "
+          f"{stats.comparisons} comparisons, {stats.misses} misses")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 48)

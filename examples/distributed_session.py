@@ -1,0 +1,86 @@
+"""Distributed Hydra Session: one blade row over simulated MPI ranks.
+
+Shows the owner-compute machinery end to end: the row's mesh is
+partitioned (RCB), halos planned (exec + nonexec, with partial-exchange
+lists per map), and the identical solver code runs on 1, 2 and 4 ranks
+— the results must match bit-for-bit while the traffic ledger shows
+what the halo exchanges cost and what the PH/GH optimizations save.
+
+Run:  python examples/distributed_session.py
+"""
+
+import numpy as np
+
+from repro import op2
+from repro.hydra import FlowState, HydraSolver, Numerics, row_problem
+from repro.hydra.problem import row_owners
+from repro.mesh import RowConfig, RowKind, make_row_mesh
+from repro.op2.distribute import (
+    build_local_problem,
+    build_serial_problem,
+    gather_dat,
+    plan_distribution,
+)
+from repro.smpi import Traffic, run_ranks
+from repro.util.tables import format_table
+
+
+def make_row():
+    cfg = RowConfig(name="rotor", kind=RowKind.ROTOR, nr=4, nt=24, nx=6,
+                    omega=0.2, turning_velocity=-0.3, work_coeff=0.03)
+    return cfg, make_row_mesh(cfg)
+
+
+def run(nranks: int, steps: int = 4, partial=False, grouped=False):
+    cfg, mesh = make_row()
+    inflow = FlowState(ux=0.5).shifted_frame(cfg.wheel_speed)
+    gp = row_problem(mesh, inflow)
+    traffic = Traffic()
+
+    if nranks == 1:
+        local = build_serial_problem(gp)
+        solver = HydraSolver(local, cfg, Numerics(inner_iters=3),
+                             dt_outer=0.05, inlet=inflow, p_out=1.0)
+        solver.run(steps)
+        return solver.q.data_ro.copy(), traffic
+
+    owners = row_owners(mesh, gp, nranks, "rcb")
+    layouts = plan_distribution(gp, nranks, owners)
+
+    def rank_fn(comm):
+        op2.set_config(partial_halos=partial, grouped_halos=grouped)
+        local = build_local_problem(gp, layouts[comm.rank], comm)
+        solver = HydraSolver(local, cfg, Numerics(inner_iters=3),
+                             dt_outer=0.05, inlet=inflow, p_out=1.0)
+        solver.run(steps)
+        return gather_dat(comm, solver.q, layouts[comm.rank], mesh.n_nodes)
+
+    results = run_ranks(nranks, rank_fn, traffic=traffic)
+    return results[0], traffic
+
+
+def main() -> None:
+    q_ref, _ = run(1)
+    rows = []
+    for nranks in (2, 4):
+        for partial, grouped, label in [(False, False, "default"),
+                                        (True, False, "+PH"),
+                                        (True, True, "+PH+GH")]:
+            q, traffic = run(nranks, partial=partial, grouped=grouped)
+            err = float(np.abs(q - q_ref).max())
+            halo = traffic.by_phase()
+            msgs = sum(v["messages"] for k, v in halo.items()
+                       if k.startswith("halo"))
+            nbytes = sum(v["nbytes"] for k, v in halo.items()
+                         if k.startswith("halo"))
+            rows.append([nranks, label, msgs, nbytes, f"{err:.2e}"])
+    print(format_table(
+        ["ranks", "halo config", "messages", "bytes", "max |q - serial|"],
+        rows,
+        title="one rotor row, 4 steps of dual time stepping, distributed"))
+    print("\nsame physics at every rank count and halo configuration — "
+          "the distribution layer never changes results, only traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Scaling study: would YOUR compressor run overnight?
+
+Uses the calibrated performance model to explore the design space the
+paper's evaluation spans: problem size x machine x node count x
+coupled-vs-monolithic. This is the workflow an industrial user would
+run before requesting an allocation — the "tractable design
+exploration" the paper motivates.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.perf import (
+    ARCHER2,
+    CIRRUS,
+    P430M,
+    P458B,
+    P653M,
+    PerfModel,
+    RunOptions,
+    power_equivalent_nodes,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    model = PerfModel()
+
+    # -- how many nodes for an overnight (<12 h) revolution? ----------------
+    rows = []
+    for problem in (P430M, P653M, P458B):
+        for nodes in (32, 64, 128, 256, 512):
+            hours = model.hours_per_revolution(problem, ARCHER2, nodes)
+            if hours < 12.0:
+                rows.append([problem.name, nodes, hours])
+                break
+        else:
+            rows.append([problem.name, ">512", float("nan")])
+    print(format_table(
+        ["problem", "ARCHER2 nodes", "hours/revolution"], rows,
+        title="smallest sampled allocation for an overnight revolution",
+        floatfmt=".1f"))
+
+    # -- CPU vs GPU at equal power -----------------------------------------
+    # GPU memory gates what fits: the model knows each problem's working
+    # set and refuses infeasible points (the paper's 122-node floor)
+    rows = []
+    for problem in (P430M, P653M):
+        for cirrus_nodes in (15, 25, 50):
+            a2 = power_equivalent_nodes(cirrus_nodes, CIRRUS, ARCHER2)
+            if not model.fits(problem, CIRRUS, cirrus_nodes):
+                rows.append([problem.name, cirrus_nodes, a2, "no fit",
+                             f"needs >= {model.min_nodes(problem, CIRRUS)}",
+                             "-"])
+                continue
+            t_gpu = model.time_per_step(problem, CIRRUS, cirrus_nodes)
+            t_cpu = model.time_per_step(problem, ARCHER2, a2)
+            rows.append([problem.name, cirrus_nodes, a2, round(t_gpu, 2),
+                         round(t_cpu, 2), round(t_cpu / t_gpu, 2)])
+    print("\n" + format_table(
+        ["problem", "Cirrus nodes", "=ARCHER2 nodes (power)", "GPU s/step",
+         "CPU s/step", "GPU speedup"],
+        rows, title="CPU vs GPU at equal power draw (GPU memory permitting)",
+        floatfmt=".2f"))
+
+    # -- why the coupler matters: coupled vs monolithic ---------------------
+    mono = RunOptions(mode="monolithic")
+    rows = []
+    for nodes in (64, 128, 256, 512):
+        t_c = model.time_per_step(P458B, ARCHER2, nodes)
+        t_m = model.time_per_step(P458B, ARCHER2, nodes, mono)
+        rows.append([nodes, t_c, t_m, t_m / t_c])
+    print("\n" + format_table(
+        ["ARCHER2 nodes", "coupled s/step", "monolithic s/step",
+         "penalty"],
+        rows, title="the sliding-plane trap: monolithic vs coupled "
+                    "(1-10_4.58B)", floatfmt=".1f"))
+
+    # -- the headline ---------------------------------------------------
+    hours = model.hours_per_revolution(P458B, ARCHER2, 512)
+    print(f"\ngrand challenge: one revolution of the 4.58B-node full "
+          f"compressor in {hours:.1f} h on 512 ARCHER2 nodes "
+          f"(the paper's <6 h claim)")
+
+
+if __name__ == "__main__":
+    main()

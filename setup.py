@@ -1,0 +1,7 @@
+"""Legacy setup shim: the sandbox lacks the `wheel` package, so editable
+installs go through `setup.py develop` (pip --no-use-pep517) instead of
+the PEP 517 build path. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

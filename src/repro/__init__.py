@@ -1,0 +1,35 @@
+"""repro — performance-portable coupled CFD reproduction.
+
+Reproduction of *Towards Virtual Certification of Gas Turbine Engines
+With Performance-Portable Simulations* (CLUSTER 2022): an OP2-style
+unstructured-mesh DSL with a real code-generation layer and multiple
+parallel backends, a mini-Hydra compressible finite-volume solver, a
+JM76-style sliding-plane coupler with brute-force and ADT donor search,
+a simulated MPI runtime, and a calibrated performance model that
+regenerates every table and figure of the paper's evaluation.
+
+Subpackages
+-----------
+``repro.op2``
+    The DSL: sets, maps, dats, globals, access descriptors,
+    ``par_loop``, execution plans, code generation, and backends.
+``repro.smpi``
+    In-process simulated MPI with communicators, collectives, and
+    traffic accounting.
+``repro.mesh``
+    Annulus blade-row mesh generation, Rig250 configuration,
+    partitioners, and sliding-plane interface extrusion.
+``repro.hydra``
+    Mini-Hydra: vertex-centred edge-based finite-volume URANS-style
+    solver written against the OP2 API.
+``repro.coupler``
+    JM76-style coupler: donor search, interpolation, coupler units,
+    coupled driver, and the monolithic baseline.
+``repro.perf``
+    Machine models and the calibrated analytic/trace-driven
+    performance model used to regenerate paper-scale results.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

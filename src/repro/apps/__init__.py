@@ -1,0 +1,18 @@
+"""Reference applications built on the repro.op2 DSL.
+
+``airfoil`` is OP2's canonical demonstration code — the paper's Fig. 3
+excerpt comes from it — re-implemented here end to end: a cell-centred
+2-D Euler solver on an unstructured quad O-grid around a Joukowski
+airfoil, with the classic five-kernel structure (save_soln, adt_calc,
+res_calc, bres_calc, update).
+"""
+
+from repro.apps.airfoil import (AirfoilApp, airfoil_owners, airfoil_problem,
+                                make_airfoil_mesh)
+from repro.apps.fem import (PoissonApp, exact_peak, fem_owners, fem_problem,
+                            make_unit_square)
+
+__all__ = ["AirfoilApp", "airfoil_problem", "airfoil_owners",
+           "make_airfoil_mesh",
+           "PoissonApp", "exact_peak", "fem_problem", "fem_owners",
+           "make_unit_square"]

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Exposes the library's headline workflows without writing a script:
+
+``compressor``
+    Run the coupled mini-Rig250 and print the Fig-10-style report.
+``scaling``
+    Evaluate the calibrated performance model for a problem/machine/
+    node-count combination.
+``tables``
+    Regenerate the paper's Tables II-IV.
+``codegen``
+    Print the generated source variants for mini-Hydra's flux kernel.
+``report``
+    Verify every headline paper claim against the calibrated model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_compressor(args: argparse.Namespace) -> int:
+    from repro.coupler import CoupledDriver, CoupledRunConfig
+    from repro.hydra import FlowState, Numerics
+    from repro.mesh import rig250_config
+    from repro.util.ascii_plot import render_field
+
+    rig = rig250_config(nr=args.nr, nt=args.nt, nx=args.nx, rows=args.rows,
+                        steps_per_revolution=args.steps_per_rev)
+    cfg = CoupledRunConfig(
+        rig=rig, ranks_per_row=args.ranks_per_row,
+        cus_per_interface=args.cus, search=args.search,
+        numerics=Numerics(inner_iters=args.inner),
+        inlet=FlowState(ux=0.5), p_out=args.p_out)
+    result = CoupledDriver(cfg).run(args.steps)
+    print(f"rows: {rig.n_rows}, interfaces: {rig.n_interfaces}, "
+          f"steps: {args.steps}")
+    print(f"pressure ratio: {result.pressure_ratio():.3f}")
+    print(f"interface wiggle: {result.interface_wiggle():.4f}")
+    print(f"coupler wait fraction: {result.coupler_wait_fraction():.3f}")
+    if args.contour:
+        field, marks = result.mid_cut()
+        print(render_field(field, width=100, height=16,
+                           title="mid-radius static pressure",
+                           column_marks=marks))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.perf import MACHINES, PROBLEMS, PerfModel, RunOptions
+
+    try:
+        problem = PROBLEMS[args.problem]
+        machine = MACHINES[args.machine]
+    except KeyError as exc:
+        print(f"unknown name {exc}; problems: {sorted(PROBLEMS)}, "
+              f"machines: {sorted(MACHINES)}", file=sys.stderr)
+        return 2
+    model = PerfModel()
+    opts = RunOptions(mode=args.mode)
+    bd = model.breakdown(problem, machine, args.nodes, opts)
+    hours = model.hours_per_revolution(problem, machine, args.nodes, opts)
+    print(f"{problem.name} on {args.nodes}x {machine.name} ({args.mode}):")
+    print(f"  time/step : {bd.total:10.2f} s "
+          f"(compute {bd.compute:.2f}, halo {bd.halo:.2f}, "
+          f"wait {bd.wait:.2f})")
+    print(f"  1 rev     : {hours:10.2f} h  "
+          f"({problem.steps_per_rev} outer steps)")
+    print(f"  wait frac : {bd.wait_fraction:10.1%}")
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.perf.tables import (
+        power_model_table,
+        table2_search,
+        table3_comm_optimizations,
+        table4_time_to_solution,
+    )
+    from repro.util.tables import format_table
+
+    for table in (table2_search(), table3_comm_optimizations(),
+                  table4_time_to_solution(), power_model_table()):
+        print(format_table(table.headers, table.rows, title=table.caption,
+                           floatfmt=".2f"))
+        print()
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from repro import op2
+    from repro.hydra.kernels import KERNELS
+    from repro.op2.codegen.seq import generate_sequential
+    from repro.op2.codegen.vector import generate_vectorized
+
+    kernel = KERNELS["flux_edge"]
+    signature = (
+        ("dat", op2.READ, "idx", 5, 2), ("dat", op2.READ, "idx", 5, 2),
+        ("dat", op2.READ, "direct", 3, 0),
+        ("dat", op2.INC, "idx", 5, 2), ("dat", op2.INC, "idx", 5, 2),
+        ("gbl", op2.READ, 1),
+    )
+    if args.backend == "sequential":
+        print(generate_sequential(kernel.name, signature))
+    else:
+        scatter = "colored" if args.backend == "coloring" else "atomic"
+        print(generate_vectorized(kernel, signature, scatter))
+    return 0
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    from repro.perf.report import build_report, render_report
+
+    claims = build_report()
+    print(render_report(claims))
+    return 0 if all(c.passed for c in claims) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compressor", help="run the coupled mini-Rig250")
+    p.add_argument("--rows", type=int, default=10)
+    p.add_argument("--steps", type=int, default=24)
+    p.add_argument("--nr", type=int, default=3)
+    p.add_argument("--nt", type=int, default=16)
+    p.add_argument("--nx", type=int, default=4)
+    p.add_argument("--steps-per-rev", type=int, default=128)
+    p.add_argument("--ranks-per-row", type=int, default=1)
+    p.add_argument("--cus", type=int, default=1)
+    p.add_argument("--inner", type=int, default=4)
+    p.add_argument("--p-out", type=float, default=1.05)
+    p.add_argument("--search", choices=["adt", "bruteforce"], default="adt")
+    p.add_argument("--contour", action="store_true")
+    p.set_defaults(fn=_cmd_compressor)
+
+    p = sub.add_parser("scaling", help="evaluate the performance model")
+    p.add_argument("--problem", default="1-10_4.58B")
+    p.add_argument("--machine", default="ARCHER2")
+    p.add_argument("--nodes", type=int, default=512)
+    p.add_argument("--mode", choices=["coupled", "monolithic"],
+                   default="coupled")
+    p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.set_defaults(fn=_cmd_tables)
+
+    p = sub.add_parser("report", help="verify paper claims vs the model")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("codegen", help="show generated kernel source")
+    p.add_argument("--backend",
+                   choices=["sequential", "vectorized", "coloring"],
+                   default="vectorized")
+    p.set_defaults(fn=_cmd_codegen)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

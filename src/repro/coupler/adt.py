@@ -1,0 +1,113 @@
+"""Alternating digital tree (ADT) over 2-D bounding boxes.
+
+The ADT (Bonet & Peraire) is the binary search structure JM76 adopted
+to replace its brute-force donor search [paper §III-B]: donor elements
+are sorted recursively along alternating coordinate directions; each
+subtree keeps the union bounding box of its elements, so a point query
+descends only subtrees whose box contains the point.
+
+The tree is built over *boxes* (donor quad extents) and queried with
+*points* (shifted target positions); it returns candidate boxes whose
+extent contains the point — exact containment/weights are the caller's
+job. Every box test is counted so benchmarks can report search effort
+in comparisons, not just wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: below this many boxes a subtree is a leaf scanned linearly
+LEAF_SIZE = 8
+
+
+@dataclass
+class _Node:
+    lo: int                 #: range into the permutation array
+    hi: int
+    bbox: np.ndarray        #: (4,) [ymin, zmin, ymax, zmax] of the subtree
+    left: int = -1          #: child node indices (-1 = leaf)
+    right: int = -1
+
+
+class ADTree:
+    """Static ADT over ``boxes`` with shape (K, 4): [ymin, zmin, ymax, zmax]."""
+
+    def __init__(self, boxes: np.ndarray, leaf_size: int = LEAF_SIZE) -> None:
+        boxes = np.ascontiguousarray(boxes, dtype=np.float64)
+        if boxes.ndim != 2 or boxes.shape[1] != 4:
+            raise ValueError(f"boxes must be (K, 4), got {boxes.shape}")
+        if (boxes[:, 0] > boxes[:, 2]).any() or (boxes[:, 1] > boxes[:, 3]).any():
+            raise ValueError("boxes must have min <= max in both dimensions")
+        self.boxes = boxes
+        self.leaf_size = max(1, leaf_size)
+        self.perm = np.arange(boxes.shape[0], dtype=np.int64)
+        self.nodes: list[_Node] = []
+        self.build_ops = 0
+        if boxes.shape[0]:
+            self._build(0, boxes.shape[0], axis=0)
+
+    # -- construction ----------------------------------------------------
+    def _build(self, lo: int, hi: int, axis: int) -> int:
+        idx = self.perm[lo:hi]
+        sub = self.boxes[idx]
+        bbox = np.array([sub[:, 0].min(), sub[:, 1].min(),
+                         sub[:, 2].max(), sub[:, 3].max()])
+        node_id = len(self.nodes)
+        self.nodes.append(_Node(lo=lo, hi=hi, bbox=bbox))
+        self.build_ops += hi - lo
+        if hi - lo > self.leaf_size:
+            centers = 0.5 * (sub[:, axis] + sub[:, axis + 2])
+            order = np.argsort(centers, kind="stable")
+            self.perm[lo:hi] = idx[order]
+            mid = lo + (hi - lo) // 2
+            left = self._build(lo, mid, axis ^ 1)
+            right = self._build(mid, hi, axis ^ 1)
+            # list may have been extended; re-fetch to set children
+            self.nodes[node_id].left = left
+            self.nodes[node_id].right = right
+        return node_id
+
+    @property
+    def size(self) -> int:
+        return self.boxes.shape[0]
+
+    @property
+    def depth(self) -> int:
+        def walk(i: int) -> int:
+            node = self.nodes[i]
+            if node.left < 0:
+                return 1
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(0) if self.nodes else 0
+
+    # -- queries ----------------------------------------------------------
+    def candidates(self, y: float, z: float, eps: float = 1e-12
+                   ) -> tuple[list[int], int]:
+        """Boxes containing point ``(y, z)`` and the number of tests made."""
+        if not self.nodes:
+            return [], 0
+        out: list[int] = []
+        tests = 0
+        stack = [0]
+        while stack:
+            node = self.nodes[stack.pop()]
+            b = node.bbox
+            tests += 1
+            if not (b[0] - eps <= y <= b[2] + eps
+                    and b[1] - eps <= z <= b[3] + eps):
+                continue
+            if node.left < 0:
+                for k in self.perm[node.lo:node.hi]:
+                    box = self.boxes[k]
+                    tests += 1
+                    if (box[0] - eps <= y <= box[2] + eps
+                            and box[1] - eps <= z <= box[3] + eps):
+                        out.append(int(k))
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return out, tests

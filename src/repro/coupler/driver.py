@@ -1,0 +1,664 @@
+"""The coupled Rig250 driver: Hydra Sessions + Coupler Units over
+simulated MPI.
+
+Reproduces the paper's Fig. 5 architecture: each blade row runs as a
+Hydra Session on its own sub-communicator; one or more Coupler Units
+sit between adjacent sessions on dedicated ranks and carry out the
+sliding-plane transfer each physical time step. The driver builds all
+static routing (who owns which interface node, which CU serves which
+target segment) centrally, then launches the world and collects
+monitors, timings, traffic and search statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import op2
+from repro.coupler.interface import SideGeometry, SlidingInterface
+from repro.coupler.partitioning import segment_of
+from repro.coupler.search import SearchStats
+from repro.coupler.unit import CUAccounting, cu_transfer
+from repro.hydra.gas import FlowState, primitives
+from repro.hydra.problem import row_owners, row_problem
+from repro.hydra.session import HydraSession
+from repro.hydra.solver import HydraSolver, Numerics
+from repro.mesh.annulus import make_row_mesh
+from repro.mesh.rig250 import Rig250Config
+from repro.op2.distribute import build_local_problem, build_serial_problem, plan_distribution
+from repro.smpi import Traffic, run_ranks
+
+_TAG_DONOR = 9000
+_TAG_RESULT = 9400
+
+
+def _tag(base: int, k: int, direction: int) -> int:
+    return base + 10 * k + direction
+
+
+@dataclass
+class CoupledRunConfig:
+    """Everything needed to assemble and run a coupled compressor."""
+
+    rig: Rig250Config
+    #: MPI ranks per Hydra Session (int = same for every row)
+    ranks_per_row: list[int] | int = 1
+    cus_per_interface: int = 1
+    search: str = "adt"
+    numerics: Numerics = field(default_factory=Numerics)
+    #: inflow in the absolute frame; rotors see it frame-shifted
+    inlet: FlowState = field(default_factory=lambda: FlowState(ux=0.5))
+    p_out: float = 1.02
+    partition_scheme: str = "rcb"
+    partial_halos: bool = False
+    grouped_halos: bool = False
+    #: "cpu" or "gpu" — gpu simulates the PCIe hop to the coupler
+    hs_device: str = "cpu"
+    #: GPU-side gather (GG): ship only interface values over PCIe
+    gpu_gather: bool = True
+    margin_quads: float = 2.0
+    #: couple every k-th outer step (1 = the paper's every-step coupling;
+    #: larger values trade interface freshness for coupler cost — the
+    #: ablation benchmark quantifies the accuracy loss)
+    couple_every: int = 1
+    timeout: float = 300.0
+
+    def ranks_of(self) -> list[int]:
+        n = self.rig.n_rows
+        if isinstance(self.ranks_per_row, int):
+            return [self.ranks_per_row] * n
+        if len(self.ranks_per_row) != n:
+            raise ValueError(
+                f"ranks_per_row must have {n} entries, got "
+                f"{len(self.ranks_per_row)}"
+            )
+        return list(self.ranks_per_row)
+
+
+@dataclass
+class _Direction:
+    """Static routing of one transfer direction of one interface."""
+
+    k: int
+    direction: int          #: 0 = up->down, 1 = down->up
+    src_row: int
+    dst_row: int
+    src_side: str           #: session side name on the src row
+    dst_side: str
+    cu_targets: list[np.ndarray]          #: per CU: flat target positions
+    cu_send: list[dict[int, np.ndarray]]  #: per CU: dst world rank -> positions
+    expected_cus: dict[int, list[int]]    #: dst world rank -> CU indices
+
+
+@dataclass
+class _Setup:
+    """All static data shared read-only by the rank threads."""
+
+    cfg: CoupledRunConfig
+    meshes: list
+    problems: list
+    layouts: list            #: per row: list[RankLayout] or None (serial)
+    row_ranks: list[list[int]]
+    cu_ranks: list[list[int]]            #: per interface
+    interfaces: list[SlidingInterface]
+    directions: list[_Direction]
+    nsteps: int
+    n_world: int
+
+
+@dataclass
+class CoupledResult:
+    """Merged outcome of a coupled run."""
+
+    rows: list[dict]
+    cus: list[dict]
+    traffic: Traffic
+    nsteps: int
+    dt: float
+
+    def pressure_profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """Mean static pressure vs axial station across the machine."""
+        xs: list[float] = []
+        ps: list[float] = []
+        for row in self.rows:
+            xs.extend(row["stations_x"])
+            ps.extend(row["stations_p"])
+        order = np.argsort(xs)
+        return np.array(xs)[order], np.array(ps)[order]
+
+    def pressure_ratio(self) -> float:
+        """Outlet/inlet mean static pressure over the whole machine."""
+        _xs, p = self.pressure_profile()
+        return float(p[-1] / p[0])
+
+    def coupler_wait_fraction(self) -> float:
+        """max over rows of coupler-wait / total step time."""
+        fractions = []
+        for row in self.rows:
+            total = row["timers"].get("physical_step", 0.0) \
+                + row["timers"].get("coupler_wait", 0.0)
+            if total > 0:
+                fractions.append(row["timers"].get("coupler_wait", 0.0) / total)
+        return max(fractions) if fractions else 0.0
+
+    def interface_wiggle(self) -> float:
+        """Max relative discontinuity across any sliding interface."""
+        return max((row["wiggle"] for row in self.rows), default=0.0)
+
+    def interface_mass_mismatch(self) -> float:
+        """Worst relative mass-flow jump across any sliding interface.
+
+        A conservative sliding-plane treatment keeps the axial mass flow
+        continuous from one row's outlet plane to the next row's inlet
+        plane (u_x is frame-independent, so no rotation correction is
+        needed).
+        """
+        worst = 0.0
+        for a, b in zip(self.rows, self.rows[1:]):
+            m_out = a.get("plane_mdot_out")
+            m_in = b.get("plane_mdot_in")
+            if m_out is None or m_in is None:
+                continue
+            scale = max(abs(m_out), abs(m_in), 1e-300)
+            worst = max(worst, abs(m_out - m_in) / scale)
+        return worst
+
+    def mid_cut(self) -> tuple[np.ndarray, list[int]]:
+        """Mid-radius pressure field across the whole machine.
+
+        Returns ``(field (nt, total_nx), interface column marks)`` —
+        the paper's Fig. 10 cylindrical cut, ready for
+        :func:`repro.util.ascii_plot.render_field`.
+        """
+        pieces = [np.asarray(row["midcut_p"]) for row in self.rows]
+        nts = {p.shape[0] for p in pieces}
+        if len(nts) != 1:
+            raise ValueError(
+                "mid_cut needs equal circumferential resolution per row"
+            )
+        marks: list[int] = []
+        acc = 0
+        for piece in pieces[:-1]:
+            acc += piece.shape[1]
+            marks.append(acc)
+        return np.concatenate(pieces, axis=1), marks
+
+    def total_search_stats(self) -> SearchStats:
+        stats = SearchStats()
+        for cu in self.cus:
+            stats.merge(cu["stats"])
+        return stats
+
+
+def balanced_ranks(rig: Rig250Config, total_ranks: int) -> list[int]:
+    """Allocate HS ranks to rows proportional to their node counts.
+
+    Load imbalance between Hydra Sessions "manifests as waiting times
+    in the coupler due to the implicit synchronization" (paper §IV-B1);
+    sizing each session's rank count by its mesh share is the first
+    lever against it. Largest-remainder apportionment with a floor of
+    one rank per row.
+    """
+    n_rows = rig.n_rows
+    if total_ranks < n_rows:
+        raise ValueError(
+            f"need at least one rank per row: {total_ranks} < {n_rows}"
+        )
+    weights = np.array([
+        row.n_nodes + (int(row.halo_in) + int(row.halo_out)) * row.nr * row.nt
+        for row in rig.rows
+    ], dtype=float)
+    shares = weights / weights.sum() * total_ranks
+    ranks = np.maximum(1, np.floor(shares).astype(int))
+    # distribute the remainder to the largest fractional parts
+    while ranks.sum() < total_ranks:
+        frac = shares - ranks
+        ranks[int(np.argmax(frac))] += 1
+    while ranks.sum() > total_ranks:
+        over = np.where(ranks > 1)[0]
+        frac = shares[over] - ranks[over]
+        ranks[over[int(np.argmin(frac))]] -= 1
+    return ranks.tolist()
+
+
+class CoupledDriver:
+    """Assembles and runs the coupled compressor simulation."""
+
+    def __init__(self, cfg: CoupledRunConfig) -> None:
+        self.cfg = cfg
+        rig = cfg.rig
+        if rig.n_rows < 2:
+            raise ValueError("a coupled run needs at least 2 rows")
+        for a, b in zip(rig.rows, rig.rows[1:]):
+            if a.sector != b.sector:
+                raise ValueError(
+                    f"adjacent rows {a.name!r}/{b.name!r} have different "
+                    f"sector angles (1/{a.sector} vs 1/{b.sector}); sliding "
+                    f"planes require matching sectors (paper §I)"
+                )
+        self.meshes = [make_row_mesh(r) for r in rig.rows]
+        # initial state per row, in the row's frame
+        self.problems = []
+        for row, mesh in zip(rig.rows, self.meshes):
+            init = cfg.inlet.shifted_frame(row.wheel_speed)
+            self.problems.append(row_problem(mesh, init))
+
+        ranks = cfg.ranks_of()
+        offset = 0
+        self.row_ranks: list[list[int]] = []
+        for n in ranks:
+            if n < 1:
+                raise ValueError("every row needs at least one rank")
+            self.row_ranks.append(list(range(offset, offset + n)))
+            offset += n
+        self.cu_ranks: list[list[int]] = []
+        for _k in range(rig.n_interfaces):
+            self.cu_ranks.append(
+                list(range(offset, offset + cfg.cus_per_interface)))
+            offset += cfg.cus_per_interface
+        self.n_world = offset
+
+        # distribution layouts + node owners (world ranks) per row
+        self.layouts: list = []
+        self._node_owner_world: list[np.ndarray] = []
+        for i, (gp, mesh, n) in enumerate(
+                zip(self.problems, self.meshes, ranks)):
+            if n == 1:
+                self.layouts.append(None)
+                self._node_owner_world.append(
+                    np.full(mesh.n_nodes, self.row_ranks[i][0]))
+            else:
+                owners = row_owners(mesh, gp, n, cfg.partition_scheme)
+                self.layouts.append(plan_distribution(gp, n, owners))
+                self._node_owner_world.append(
+                    np.asarray(owners["nodes"]) + self.row_ranks[i][0])
+
+        self.interfaces, self.directions = self._build_interfaces()
+
+    # -- static interface routing -----------------------------------------
+    def _side_geometry(self, row_idx: int, side: str) -> SideGeometry:
+        mesh = self.meshes[row_idx]
+        cfgrow = self.cfg.rig.rows[row_idx]
+        grid = (mesh.iface_out_donor if side == "out" else mesh.iface_in_donor)
+        flat = grid.ravel()
+        return SideGeometry(
+            grid_shape=grid.shape,
+            y=mesh.coords[flat, 1].copy(),
+            z=mesh.coords[flat, 2].copy(),
+            circumference=cfgrow.circumference,
+            frame_velocity=cfgrow.wheel_speed,
+        )
+
+    def _build_interfaces(self) -> tuple[list[SlidingInterface], list[_Direction]]:
+        interfaces = []
+        directions = []
+        n_cu = self.cfg.cus_per_interface
+        for k in range(self.cfg.rig.n_interfaces):
+            up, down = k, k + 1
+            iface = SlidingInterface(
+                name=f"{self.cfg.rig.rows[up].name}/"
+                     f"{self.cfg.rig.rows[down].name}",
+                up=self._side_geometry(up, "out"),
+                down=self._side_geometry(down, "in"),
+            )
+            interfaces.append(iface)
+            for direction in (0, 1):
+                if direction == 0:
+                    src_row, dst_row = up, down
+                    src_side, dst_side = "out", "in"
+                    halo_grid = self.meshes[down].iface_in_halo
+                    geo = iface.down
+                else:
+                    src_row, dst_row = down, up
+                    src_side, dst_side = "in", "out"
+                    halo_grid = self.meshes[up].iface_out_halo
+                    geo = iface.up
+                owner = self._node_owner_world[dst_row][halo_grid.ravel()]
+                seg = segment_of(geo.y, geo.circumference, n_cu)
+                cu_targets = [np.nonzero(seg == c)[0] for c in range(n_cu)]
+                cu_send: list[dict[int, np.ndarray]] = []
+                expected: dict[int, list[int]] = {}
+                for c in range(n_cu):
+                    routing: dict[int, np.ndarray] = {}
+                    pos = cu_targets[c]
+                    for r in np.unique(owner[pos]):
+                        routing[int(r)] = pos[owner[pos] == r]
+                        expected.setdefault(int(r), []).append(c)
+                    cu_send.append(routing)
+                directions.append(_Direction(
+                    k=k, direction=direction, src_row=src_row,
+                    dst_row=dst_row, src_side=src_side, dst_side=dst_side,
+                    cu_targets=cu_targets, cu_send=cu_send,
+                    expected_cus=expected,
+                ))
+        return interfaces, directions
+
+    # -- execution ---------------------------------------------------------
+    def run(self, nsteps: int) -> CoupledResult:
+        """Run ``nsteps`` outer time steps of the coupled machine."""
+        if nsteps < 0:
+            raise ValueError("nsteps must be >= 0")
+        setup = _Setup(
+            cfg=self.cfg, meshes=self.meshes, problems=self.problems,
+            layouts=self.layouts, row_ranks=self.row_ranks,
+            cu_ranks=self.cu_ranks, interfaces=self.interfaces,
+            directions=self.directions, nsteps=nsteps,
+            n_world=self.n_world,
+        )
+        traffic = Traffic()
+        results = run_ranks(self.n_world, _rank_main, args=(setup,),
+                            timeout=self.cfg.timeout, traffic=traffic)
+        rows = [r for r in results if r["role"] == "hs" and r["reporter"]]
+        cus = [r for r in results if r["role"] == "cu"]
+        rows.sort(key=lambda r: r["row"])
+        return CoupledResult(rows=rows, cus=cus, traffic=traffic,
+                             nsteps=nsteps, dt=self.cfg.rig.dt_outer)
+
+
+# --------------------------------------------------------------------------
+# rank-side execution
+# --------------------------------------------------------------------------
+
+def _role_of(rank: int, setup: _Setup) -> tuple[str, int, int]:
+    for i, ranks in enumerate(setup.row_ranks):
+        if rank in ranks:
+            return ("hs", i, ranks.index(rank))
+    for k, ranks in enumerate(setup.cu_ranks):
+        if rank in ranks:
+            return ("cu", k, ranks.index(rank))
+    raise RuntimeError(f"rank {rank} has no role")  # pragma: no cover
+
+
+def _rank_main(world, setup: _Setup):
+    role, idx, sub_idx = _role_of(world.rank, setup)
+    color = idx if role == "hs" else len(setup.row_ranks) + 100 + world.rank
+    sub = world.split(color)
+    op2.set_config(partial_halos=setup.cfg.partial_halos,
+                   grouped_halos=setup.cfg.grouped_halos,
+                   backend=op2.current_config().backend)
+    if role == "hs":
+        return _hs_main(world, sub, idx, setup)
+    return _cu_main(world, idx, sub_idx, setup)
+
+
+def _hs_main(world, sub, row_idx: int, setup: _Setup):
+    cfg = setup.cfg
+    rig = cfg.rig
+    rowcfg = rig.rows[row_idx]
+    gp = setup.problems[row_idx]
+    layouts = setup.layouts[row_idx]
+    if layouts is None:
+        local = build_serial_problem(gp)
+        layout = None
+    else:
+        layout = layouts[sub.rank]
+        local = build_local_problem(gp, layout, sub)
+
+    inlet = (cfg.inlet.shifted_frame(rowcfg.wheel_speed)
+             if not rowcfg.halo_in else None)
+    p_out = cfg.p_out if not rowcfg.halo_out else None
+    solver = HydraSolver(local, rowcfg, cfg.numerics,
+                         dt_outer=rig.dt_outer, inlet=inlet, p_out=p_out)
+    session = HydraSession(solver, setup.meshes[row_idx], layout)
+
+    every = max(1, cfg.couple_every)
+    probe = _ProbeRecorder(solver, session)
+    _hs_couple(world, session, row_idx, setup, t=0.0)
+    for step in range(1, setup.nsteps + 1):
+        solver.advance_physical()
+        if step % every == 0:
+            _hs_couple(world, session, row_idx, setup,
+                       t=step * rig.dt_outer)
+        probe.record()
+
+    return _hs_report(world, sub, solver, session, row_idx, setup,
+                      probe)
+
+
+def _hs_couple(world, session: HydraSession, row_idx: int, setup: _Setup,
+               t: float) -> None:
+    """One coupling round: send donors, receive and apply halo values."""
+    cfg = setup.cfg
+    solver = session.solver
+    # 1. ship donor data to every CU of each interface we feed
+    for d in setup.directions:
+        if d.src_row != row_idx:
+            continue
+        positions, values = session.donor_values(d.src_side)
+        if cfg.hs_device == "gpu":
+            # PCIe accounting: without GPU-side gather the full state
+            # array crosses the bus; with GG only the gathered values do
+            nbytes = (values.nbytes if cfg.gpu_gather
+                      else solver.q.data_with_halos.nbytes)
+            world.set_phase("pcie")
+            world.traffic.record(world.rank, world.rank, nbytes)
+        world.set_phase(f"coupler.gather:{d.k}:{d.direction}")
+        for cu_rank in setup.cu_ranks[d.k]:
+            world.send((positions, values), dest=cu_rank,
+                       tag=_tag(_TAG_DONOR, d.k, d.direction))
+    # 2. collect interpolated halo values
+    wait = solver.timers["coupler_wait"]
+    for d in setup.directions:
+        if d.dst_row != row_idx:
+            continue
+        for c in d.expected_cus.get(world.rank, []):
+            wait.start()
+            positions, values = world.recv(
+                source=setup.cu_ranks[d.k][c],
+                tag=_tag(_TAG_RESULT, d.k, d.direction))
+            wait.stop()
+            if positions.size:
+                session.apply_halo_values(d.dst_side, positions, values)
+    if session.sides:
+        session.finish_coupling()
+    world.set_phase("compute")
+
+
+def _hs_report(world, sub, solver: HydraSolver, session: HydraSession,
+               row_idx: int, setup: _Setup,
+               probe: "_ProbeRecorder | None" = None) -> dict:
+    xs, ps = solver.station_pressure()
+    wiggle = _interface_wiggle(sub, solver, session)
+    report = {
+        "role": "hs",
+        "row": row_idx,
+        "name": setup.cfg.rig.rows[row_idx].name,
+        "reporter": sub.rank == 0,
+        "stations_x": xs.tolist(),
+        "stations_p": ps.tolist(),
+        "timers": solver.timers.as_dict(),
+        "wiggle": wiggle,
+        "steps": solver.step,
+        "midcut_p": _mid_cut(sub, solver, session),
+        "plane_mdot_in": _plane_mass_flow(sub, solver, session, "in"),
+        "plane_mdot_out": _plane_mass_flow(sub, solver, session, "out"),
+        "unsteadiness": probe.unsteadiness(sub) if probe is not None
+        else float("nan"),
+    }
+    return report
+
+
+class _ProbeRecorder:
+    """Temporal pressure probes at a row's exit station (mid radius).
+
+    The paper's Fig. 10 notes "strong unsteadiness in the large axial
+    gaps downstream" — this recorder captures the per-step pressure at
+    the row's last core station so the run can report a temporal-
+    standard-deviation unsteadiness measure per row.
+    """
+
+    def __init__(self, solver: HydraSolver, session: HydraSession) -> None:
+        self.solver = solver
+        mesh = session.mesh
+        cfg = mesh.config
+        iz = cfg.nr // 2
+        ix = mesh.ix0_core + cfg.nx - 1
+        ids = np.array([mesh.node_id(iz, it, ix) for it in range(cfg.nt)],
+                       dtype=np.int64)
+        _pos, self._local = session._global_to_local(ids)
+        self.history: list[np.ndarray] = []
+
+    def record(self) -> None:
+        q = self.solver.q.data_with_halos[self._local]
+        self.history.append(primitives(q)["p"].copy())
+
+    def unsteadiness(self, sub) -> float:
+        """Mean temporal std of the probed pressures (collective).
+
+        Computed over the second half of the recorded history so the
+        startup transient (the initial pressure adjustment sweeping
+        through the machine) does not mask the periodic rotor-stator
+        interaction the paper's Fig. 10 describes.
+        """
+        settled = self.history[len(self.history) // 2:]
+        if len(settled) < 2 or self._local.size == 0:
+            local = (0.0, 0)
+        else:
+            series = np.stack(settled)
+            local = (float(series.std(axis=0).sum()), series.shape[1])
+        if sub.size > 1:
+            pieces = sub.allgather(local)
+            total = sum(p[0] for p in pieces)
+            count = sum(p[1] for p in pieces)
+        else:
+            total, count = local
+        return total / count if count else 0.0
+
+
+def _plane_mass_flow(sub, solver: HydraSolver, session: HydraSession,
+                     side: str) -> float | None:
+    """Axial mass flow through a sliding-interface plane (collective).
+
+    Integrates rho*u_x over the plane station's dual faces; None when
+    the row has no sliding plane on that side (a true BC instead).
+    """
+    mesh = session.mesh
+    cfg = mesh.config
+    if side == "in":
+        if not cfg.halo_in:
+            return None
+        grid = mesh.iface_in_plane
+    else:
+        if not cfg.halo_out:
+            return None
+        grid = mesh.iface_out_plane
+    dy = cfg.circumference / cfg.nt
+    dz = (cfg.r_outer - cfg.r_inner) / (cfg.nr - 1)
+    dz_eff = np.full(cfg.nr, dz)
+    dz_eff[0] *= 0.5
+    dz_eff[-1] *= 0.5
+    area = np.broadcast_to((dz_eff * dy)[:, None],
+                           (cfg.nr, cfg.nt)).ravel()
+    pos, local = session._global_to_local(grid.ravel())
+    mdot = float(np.sum(solver.q.data_with_halos[local, 1] * area[pos]))
+    if sub.size > 1:
+        mdot = sub.allreduce(mdot, "sum")
+    return mdot
+
+
+def _mid_cut(sub, solver: HydraSolver, session: HydraSession) -> np.ndarray:
+    """Static pressure on the mid-radius cylindrical cut, (nt, nx core).
+
+    Collective over the session: each rank contributes the cut nodes it
+    owns; the assembled field is Fig. 10's surface for this row.
+    """
+    mesh = session.mesh
+    cfg = mesh.config
+    iz = cfg.nr // 2
+    ids = np.array(
+        [[mesh.node_id(iz, it, mesh.ix0_core + ix) for ix in range(cfg.nx)]
+         for it in range(cfg.nt)], dtype=np.int64)
+    pos, local = session._global_to_local(ids.ravel())
+    p_local = primitives(solver.q.data_with_halos[local])["p"]
+    if sub.size > 1:
+        pieces = sub.allgather((pos, p_local))
+    else:
+        pieces = [(pos, p_local)]
+    out = np.full(ids.size, np.nan)
+    for ppos, values in pieces:
+        out[ppos] = values
+    return out.reshape(cfg.nt, cfg.nx)
+
+
+def _interface_wiggle(sub, solver: HydraSolver, session: HydraSession) -> float:
+    """Relative jump between halo-layer and plane values.
+
+    The halo layer is interpolated from the neighbour's interior at the
+    same axial station as the donor layer; a healthy sliding-plane
+    treatment keeps the solution continuous (paper Fig. 10's "absence
+    of wiggles"), so the halo-to-plane difference should be of the
+    order of the flow's own axial variation, not larger.
+    """
+    worst = 0.0
+    mesh = session.mesh
+    q = solver.q.data_with_halos
+    for side_name, info in session.sides.items():
+        halo_grid = (mesh.iface_in_halo if side_name == "in"
+                     else mesh.iface_out_halo)
+        plane_grid = (mesh.iface_in_plane if side_name == "in"
+                      else mesh.iface_out_plane)
+        pos, halo_local = session._global_to_local(halo_grid)
+        pos2, plane_local = session._global_to_local(plane_grid)
+        # compare only positions owned for both layers on this rank
+        common, ia, ib = np.intersect1d(pos, pos2, return_indices=True)
+        if common.size:
+            ph = primitives(q[halo_local[ia]])["p"]
+            pp = primitives(q[plane_local[ib]])["p"]
+            worst = max(worst, float(np.max(np.abs(ph - pp) / pp)))
+    if sub.size > 1:
+        worst = sub.allreduce(worst, "max")
+    return worst
+
+
+def _cu_main(world, k: int, cu_index: int, setup: _Setup):
+    cfg = setup.cfg
+    iface = setup.interfaces[k]
+    acct = CUAccounting()
+    quads = {
+        "up": iface.up.donor_quads(),
+        "down": iface.down.donor_quads(),
+    }
+    my_dirs = [d for d in setup.directions if d.k == k]
+    rig = setup.cfg.rig
+    every = max(1, cfg.couple_every)
+    rounds = setup.nsteps // every + 1
+    for round_idx in range(rounds):
+        t = round_idx * every * rig.dt_outer
+        started = time.perf_counter()
+        for d in my_dirs:
+            # assemble donor grid from every src-row rank's piece
+            geo = iface.side("up" if d.direction == 0 else "down")
+            n_grid = geo.grid_shape[0] * geo.grid_shape[1]
+            donors = np.zeros((n_grid, 5))
+            for src_rank in setup.row_ranks[d.src_row]:
+                positions, values = world.recv(
+                    source=src_rank, tag=_tag(_TAG_DONOR, d.k, d.direction))
+                if positions.size:
+                    donors[positions] = values
+            src = "up" if d.direction == 0 else "down"
+            dst = "down" if d.direction == 0 else "up"
+            result = cu_transfer(
+                iface, src, dst, donors, t,
+                subset=d.cu_targets[cu_index], search_kind=cfg.search,
+                margin_quads=cfg.margin_quads, cached_quads=quads[src])
+            acct.stats.merge(result.stats)
+            world.set_phase(f"coupler.scatter:{d.k}:{d.direction}")
+            lookup = {int(p): i for i, p in enumerate(result.positions)}
+            for dst_rank, positions in d.cu_send[cu_index].items():
+                rows = np.array([lookup[int(p)] for p in positions],
+                                dtype=np.int64)
+                world.send((positions, result.values[rows]), dest=dst_rank,
+                           tag=_tag(_TAG_RESULT, d.k, d.direction))
+        acct.rounds += 1
+        acct.serve_seconds += time.perf_counter() - started
+    return {
+        "role": "cu",
+        "interface": k,
+        "cu_index": cu_index,
+        "rounds": acct.rounds,
+        "stats": acct.stats,
+        "serve_seconds": acct.serve_seconds,
+    }

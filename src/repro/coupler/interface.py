@@ -1,0 +1,151 @@
+"""Sliding-plane interface geometry and transfer mathematics.
+
+One :class:`SlidingInterface` joins the outlet of an upstream row to
+the inlet of a downstream row. Each side exposes a (nr, nt) grid of
+donor points (one core station inside its interface plane — the
+station geometrically coincident with the *other* row's halo layer)
+and a matching grid of halo targets. As the rows rotate relative to
+each other, a target's position in the donor frame drifts
+circumferentially; the transfer therefore (1) shifts target positions
+into the donor frame, (2) finds + interpolates donors, and (3) applies
+the exact frame velocity transformation to the conserved state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coupler.search import make_search
+from repro.hydra.gas import shift_frame
+
+
+@dataclass
+class SideGeometry:
+    """Static geometry of one side of an interface.
+
+    ``y``/``z`` are flat (nr*nt) arrays over the grid (row-major,
+    position = iz*nt + it); both the donor station and the halo layer
+    share them (they differ only in x).
+    """
+
+    grid_shape: tuple[int, int]
+    y: np.ndarray
+    z: np.ndarray
+    circumference: float
+    frame_velocity: float
+
+    def __post_init__(self) -> None:
+        n = self.grid_shape[0] * self.grid_shape[1]
+        if self.y.shape != (n,) or self.z.shape != (n,):
+            raise ValueError(
+                f"y/z must be flat ({n},) arrays for grid {self.grid_shape}"
+            )
+
+    def donor_quads(self) -> tuple[np.ndarray, np.ndarray]:
+        """(boxes (K, 4), corner positions (K, 4)) of the donor grid.
+
+        Quads span circumferentially adjacent grid columns (periodic
+        wrap included: the seam quad is emitted twice, once shifted by
+        -L, so queries normalized to [0, L) always find a donor).
+        """
+        nr, nt = self.grid_shape
+        y2 = self.y.reshape(nr, nt)
+        z2 = self.z.reshape(nr, nt)
+        L = self.circumference
+        boxes: list[list[float]] = []
+        corners: list[list[int]] = []
+        for iz in range(nr - 1):
+            for it in range(nt):
+                itp = (it + 1) % nt
+                y0 = y2[iz, it]
+                y1 = y2[iz, itp] if itp > it else y2[iz, it] + (L - y2[iz, it]
+                                                               + y2[iz, 0])
+                z0 = z2[iz, it]
+                z1 = z2[iz + 1, it]
+                pos = [iz * nt + it, iz * nt + itp,
+                       (iz + 1) * nt + itp, (iz + 1) * nt + it]
+                boxes.append([y0, z0, y1, z1])
+                corners.append(pos)
+                if y1 > L:  # seam quad: duplicate shifted into [-dy, 0]
+                    boxes.append([y0 - L, z0, y1 - L, z1])
+                    corners.append(pos)
+        return np.array(boxes), np.array(corners, dtype=np.int64)
+
+
+@dataclass
+class SlidingInterface:
+    """The moving joint between two blade rows."""
+
+    name: str
+    up: SideGeometry      #: upstream row's outlet side
+    down: SideGeometry    #: downstream row's inlet side
+
+    def __post_init__(self) -> None:
+        if not np.isclose(self.up.circumference, self.down.circumference):
+            raise ValueError(
+                f"interface {self.name!r}: circumferences differ "
+                f"({self.up.circumference} vs {self.down.circumference})"
+            )
+
+    def side(self, which: str) -> SideGeometry:
+        if which == "up":
+            return self.up
+        if which == "down":
+            return self.down
+        raise ValueError(f"side must be 'up' or 'down', got {which!r}")
+
+    def shift_rate(self, src: str, dst: str) -> float:
+        """d/dt of the donor-frame drift of a target fixed in ``dst``.
+
+        A point at rest in the dst frame sits at absolute position
+        ``y + v_dst * t``; in the src frame that is
+        ``y + (v_dst - v_src) * t``.
+        """
+        return self.side(dst).frame_velocity - self.side(src).frame_velocity
+
+    def shifted_targets(self, src: str, dst: str, t: float,
+                        subset: np.ndarray | None = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Target points of ``dst`` expressed in ``src``'s frame at ``t``.
+
+        Returns (y_in_src_frame normalized to [0, L), z).
+        """
+        geo = self.side(dst)
+        y = geo.y if subset is None else geo.y[subset]
+        z = geo.z if subset is None else geo.z[subset]
+        L = geo.circumference
+        y_src = np.mod(y + self.shift_rate(src, dst) * t, L)
+        return y_src, z
+
+    def transfer(self, src: str, dst: str, donor_values: np.ndarray,
+                 t: float, search_kind: str = "adt",
+                 subset: np.ndarray | None = None,
+                 search=None) -> tuple[np.ndarray, object]:
+        """Interpolate donor-side values onto dst targets at time ``t``.
+
+        ``donor_values`` is (nr*nt, 5) conserved state on the src donor
+        grid (in src's frame). Returns (target values (m, 5) in dst's
+        frame, the search object — inspect ``.stats`` for effort).
+        """
+        geo_src = self.side(src)
+        if search is None:
+            boxes, corners = geo_src.donor_quads()
+            search = make_search(search_kind, boxes)
+            search._corners = corners  # type: ignore[attr-defined]
+        corners = search._corners
+        y_q, z_q = self.shifted_targets(src, dst, t, subset)
+        out = np.empty((y_q.size, donor_values.shape[1]))
+        for i, (yy, zz) in enumerate(zip(y_q, z_q)):
+            hit = search.find(float(yy), float(zz))
+            if hit.quad < 0:
+                raise RuntimeError(
+                    f"interface {self.name!r}: no donor found for target "
+                    f"({yy:.6f}, {zz:.6f}) at t={t}"
+                )
+            pts = corners[hit.quad]
+            out[i] = hit.weights @ donor_values[pts]
+        du = (self.side(dst).frame_velocity
+              - self.side(src).frame_velocity)
+        return shift_frame(out, du), search

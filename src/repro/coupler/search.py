@@ -1,0 +1,109 @@
+"""Donor search strategies: brute force vs ADT.
+
+Both searches answer the same question the JM76 coupler must answer at
+every time step: *which donor quad contains each (moved) target point,
+and with what bilinear weights?* The brute-force scan is JM76's
+original algorithm; the ADT binary search is the improvement the paper
+quantifies in Table II. Both count their element comparisons so the
+benchmark can report search effort independent of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coupler.adt import ADTree
+
+
+@dataclass
+class SearchStats:
+    """Accumulated effort counters of one search object."""
+
+    queries: int = 0
+    comparisons: int = 0
+    build_ops: int = 0
+    misses: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        self.queries += other.queries
+        self.comparisons += other.comparisons
+        self.build_ops += other.build_ops
+        self.misses += other.misses
+
+
+@dataclass
+class DonorHit:
+    """Result of one point query."""
+
+    quad: int                 #: donor quad index (-1 = not found)
+    weights: np.ndarray       #: (4,) bilinear corner weights
+
+
+def _bilinear_weights(box: np.ndarray, y: float, z: float) -> np.ndarray:
+    """Corner weights of point (y, z) in rectangle ``box``.
+
+    Corner order matches quad construction: (y0,z0), (y1,z0), (y1,z1),
+    (y0,z1). Degenerate extents fall back to 0.5/0.5 splits.
+    """
+    wy = (y - box[0]) / (box[2] - box[0]) if box[2] > box[0] else 0.5
+    wz = (z - box[1]) / (box[3] - box[1]) if box[3] > box[1] else 0.5
+    wy = min(max(wy, 0.0), 1.0)
+    wz = min(max(wz, 0.0), 1.0)
+    return np.array([(1 - wy) * (1 - wz), wy * (1 - wz), wy * wz,
+                     (1 - wy) * wz])
+
+
+class BruteForceSearch:
+    """JM76's original search: test every donor quad for every target."""
+
+    name = "bruteforce"
+
+    def __init__(self, boxes: np.ndarray) -> None:
+        self.boxes = np.ascontiguousarray(boxes, dtype=np.float64)
+        self.stats = SearchStats()
+
+    def find(self, y: float, z: float, eps: float = 1e-9) -> DonorHit:
+        self.stats.queries += 1
+        boxes = self.boxes
+        self.stats.comparisons += boxes.shape[0]
+        inside = np.nonzero(
+            (boxes[:, 0] - eps <= y) & (y <= boxes[:, 2] + eps)
+            & (boxes[:, 1] - eps <= z) & (z <= boxes[:, 3] + eps)
+        )[0]
+        if inside.size == 0:
+            self.stats.misses += 1
+            return DonorHit(quad=-1, weights=np.zeros(4))
+        k = int(inside[0])
+        return DonorHit(quad=k, weights=_bilinear_weights(boxes[k], y, z))
+
+
+class ADTSearch:
+    """Binary-tree search via the alternating digital tree."""
+
+    name = "adt"
+
+    def __init__(self, boxes: np.ndarray) -> None:
+        self.boxes = np.ascontiguousarray(boxes, dtype=np.float64)
+        self.tree = ADTree(self.boxes)
+        self.stats = SearchStats(build_ops=self.tree.build_ops)
+
+    def find(self, y: float, z: float, eps: float = 1e-9) -> DonorHit:
+        self.stats.queries += 1
+        hits, tests = self.tree.candidates(y, z, eps=eps)
+        self.stats.comparisons += tests
+        if not hits:
+            self.stats.misses += 1
+            return DonorHit(quad=-1, weights=np.zeros(4))
+        k = hits[0]
+        return DonorHit(quad=k, weights=_bilinear_weights(self.boxes[k], y, z))
+
+
+def make_search(kind: str, boxes: np.ndarray):
+    """Factory for a search strategy by name."""
+    if kind == "bruteforce":
+        return BruteForceSearch(boxes)
+    if kind == "adt":
+        return ADTSearch(boxes)
+    raise ValueError(f"unknown search kind {kind!r}; use 'bruteforce' or 'adt'")

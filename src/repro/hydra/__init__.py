@@ -1,0 +1,24 @@
+"""Mini-Hydra: a vertex-centred edge-based finite-volume URANS-style
+solver written entirely against the OP2 API.
+
+Reproduces the numerical structure of Rolls-Royce's Hydra as the paper
+describes it: the spatial operators are discretized into a residual by
+parallel loops over mesh edges/boundary faces (indirect increments —
+the motif OP2 exists for), and the flow is advanced by dual time
+stepping — an outer physical step with BDF time derivative, and inner
+explicit Runge-Kutta pseudo-time iterations. Rotor rows solve in their
+own (translating, hence inertial in the mapped-Cartesian cascade
+approximation) frame of reference; blade rows act on the flow through
+a relaxation blade-force model whose wakes drive the unsteady
+rotor-stator interaction the sliding planes must transport.
+"""
+
+from repro.hydra.gas import GAMMA, FlowState, conserved, primitives, total_pressure
+from repro.hydra.problem import row_problem
+from repro.hydra.solver import HydraSolver, Numerics
+from repro.hydra.session import HydraSession
+
+__all__ = [
+    "GAMMA", "FlowState", "conserved", "primitives", "total_pressure",
+    "row_problem", "HydraSolver", "Numerics", "HydraSession",
+]

@@ -1,0 +1,93 @@
+"""Gas model: perfect gas relations and state conversions.
+
+The solver is nondimensionalized with reference density and pressure
+of 1, so the reference speed of sound is ``sqrt(GAMMA)``. Conserved
+state vectors are ``[rho, rho*ux, rho*uy, rho*uz, E]`` with ``E`` the
+total energy per unit volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: ratio of specific heats for air
+GAMMA = 1.4
+
+
+@dataclass(frozen=True)
+class FlowState:
+    """A uniform primitive state (used for initial and inlet conditions)."""
+
+    rho: float = 1.0
+    ux: float = 0.0
+    uy: float = 0.0
+    uz: float = 0.0
+    p: float = 1.0
+
+    @property
+    def sound_speed(self) -> float:
+        return float(np.sqrt(GAMMA * self.p / self.rho))
+
+    @property
+    def mach(self) -> float:
+        speed = float(np.sqrt(self.ux**2 + self.uy**2 + self.uz**2))
+        return speed / self.sound_speed
+
+    def conserved(self) -> np.ndarray:
+        """The (5,) conserved vector of this state."""
+        e = self.p / (GAMMA - 1.0) + 0.5 * self.rho * (
+            self.ux**2 + self.uy**2 + self.uz**2
+        )
+        return np.array([self.rho, self.rho * self.ux, self.rho * self.uy,
+                         self.rho * self.uz, e])
+
+    def shifted_frame(self, du_y: float) -> "FlowState":
+        """The same physical state viewed from a frame moving at ``du_y``
+        in +y (velocity transforms, thermodynamics unchanged)."""
+        return FlowState(rho=self.rho, ux=self.ux, uy=self.uy - du_y,
+                         uz=self.uz, p=self.p)
+
+
+def conserved(rho, ux, uy, uz, p) -> np.ndarray:
+    """Vectorized primitive -> conserved (arrays broadcast; last axis 5)."""
+    rho, ux, uy, uz, p = np.broadcast_arrays(rho, ux, uy, uz, p)
+    e = p / (GAMMA - 1.0) + 0.5 * rho * (ux**2 + uy**2 + uz**2)
+    return np.stack([rho, rho * ux, rho * uy, rho * uz, e], axis=-1)
+
+
+def primitives(q: np.ndarray) -> dict[str, np.ndarray]:
+    """Conserved (..., 5) -> dict of primitive arrays (rho, ux, uy, uz, p,
+    c, mach)."""
+    q = np.asarray(q)
+    rho = q[..., 0]
+    ux = q[..., 1] / rho
+    uy = q[..., 2] / rho
+    uz = q[..., 3] / rho
+    ke = 0.5 * rho * (ux**2 + uy**2 + uz**2)
+    p = (GAMMA - 1.0) * (q[..., 4] - ke)
+    c = np.sqrt(GAMMA * p / rho)
+    mach = np.sqrt(ux**2 + uy**2 + uz**2) / c
+    return {"rho": rho, "ux": ux, "uy": uy, "uz": uz, "p": p, "c": c,
+            "mach": mach}
+
+
+def total_pressure(q: np.ndarray) -> np.ndarray:
+    """Isentropic stagnation pressure of conserved states (..., 5)."""
+    prim = primitives(q)
+    return prim["p"] * (1.0 + 0.5 * (GAMMA - 1.0) * prim["mach"] ** 2) ** (
+        GAMMA / (GAMMA - 1.0)
+    )
+
+
+def shift_frame(q: np.ndarray, du_y: float) -> np.ndarray:
+    """Transform conserved states (..., 5) to a frame moving at ``du_y``
+    in +y: momentum and energy change exactly, thermodynamics don't."""
+    q = np.asarray(q, dtype=np.float64).copy()
+    rho = q[..., 0]
+    my = q[..., 2]
+    # E' = E - my*du + 0.5*rho*du^2  (u_y' = u_y - du)
+    q[..., 4] = q[..., 4] - my * du_y + 0.5 * rho * du_y**2
+    q[..., 2] = my - rho * du_y
+    return q

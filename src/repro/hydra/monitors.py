@@ -1,0 +1,75 @@
+"""Run monitors: convergence histories and conservation checks.
+
+Production CFD runs live and die by their monitors; mini-Hydra
+provides the same ones the paper's workflow implies: per-step residual
+norms, inner-iteration convergence within a physical step (the dual
+time-stepping quality measure), and mass-flow balance through the
+domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hydra.solver import HydraSolver
+
+
+@dataclass
+class ConvergenceReport:
+    """Summary of a monitored run."""
+
+    steps: int
+    residuals: list[float]
+    inner_drops: list[float]      #: residual reduction within each step
+    mass_balance: list[float]     #: (inflow - outflow) / inflow per step
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    def converged(self, tol: float) -> bool:
+        return bool(self.residuals) and self.residuals[-1] < tol
+
+    def mean_inner_drop(self) -> float:
+        """Mean factor the inner iterations reduce the residual by."""
+        return float(np.mean(self.inner_drops)) if self.inner_drops else 1.0
+
+
+class RunMonitor:
+    """Wraps a solver to record convergence behaviour while stepping."""
+
+    def __init__(self, solver: HydraSolver) -> None:
+        self.solver = solver
+        self.residuals: list[float] = []
+        self.inner_drops: list[float] = []
+        self.mass_balance: list[float] = []
+
+    def step(self) -> None:
+        """One physical step with before/after residual bookkeeping."""
+        solver = self.solver
+        r_before = solver.residual_norm()
+        solver.advance_physical()
+        r_after = solver.residual_norm()
+        self.residuals.append(r_after)
+        self.inner_drops.append(r_after / max(r_before, 1e-300))
+        if solver.has_inlet and solver.has_outlet:
+            m_in = solver.mass_flow("inlet")
+            m_out = solver.mass_flow("outlet")
+            self.mass_balance.append((m_in - m_out) / max(abs(m_in), 1e-300))
+        else:
+            self.mass_balance.append(float("nan"))
+
+    def run(self, nsteps: int) -> ConvergenceReport:
+        for _ in range(nsteps):
+            self.step()
+        return self.report()
+
+    def report(self) -> ConvergenceReport:
+        return ConvergenceReport(
+            steps=len(self.residuals),
+            residuals=list(self.residuals),
+            inner_drops=list(self.inner_drops),
+            mass_balance=list(self.mass_balance),
+        )

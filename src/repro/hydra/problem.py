@@ -1,0 +1,92 @@
+"""Row mesh → OP2 problem description.
+
+Builds the :class:`~repro.op2.distribute.GlobalProblem` (plain arrays)
+for one blade row, so the identical description can be materialized
+serially or distributed over a Hydra Session's ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hydra.gas import FlowState, conserved
+from repro.mesh.annulus import RowMesh
+from repro.op2.distribute import GlobalProblem
+
+
+def row_problem(mesh: RowMesh, initial: FlowState) -> GlobalProblem:
+    """Assemble sets/maps/dats for one row, initialized to ``initial``.
+
+    ``initial`` must already be expressed in this row's frame of
+    reference (use :meth:`FlowState.shifted_frame` for rotors).
+
+    Sets: ``nodes``, ``edges``, plus ``inlet``/``outlet`` boundary-face
+    sets when the corresponding end is a true boundary (not a sliding
+    plane), and ``wall`` faces for hub and casing. Boundary-face sets
+    of size zero are omitted (OP2 loops over empty sets are legal but
+    the maps cannot be built from nothing).
+    """
+    gp = GlobalProblem()
+    n = mesh.n_nodes
+    gp.add_set("nodes", n)
+    gp.add_set("edges", mesh.n_edges)
+    gp.add_map("pedge", "edges", "nodes", mesh.edges)
+
+    q0 = np.tile(initial.conserved(), (n, 1))
+    gp.add_dat("q", "nodes", q0)
+    gp.add_dat("qk", "nodes", q0.copy())     # RK stage base
+    gp.add_dat("qn", "nodes", q0.copy())     # physical history n
+    gp.add_dat("qnm1", "nodes", q0.copy())   # physical history n-1
+    gp.add_dat("res", "nodes", np.zeros((n, 5)))
+    gp.add_dat("xyz", "nodes", mesh.coords)
+    gp.add_dat("vol", "nodes", mesh.node_vol)
+    gp.add_dat("mask", "nodes", mesh.node_mask)
+    gp.add_dat("edgew", "edges", mesh.edge_w)
+    degree = np.zeros(n)
+    np.add.at(degree, mesh.edges[:, 0], 1.0)
+    np.add.at(degree, mesh.edges[:, 1], 1.0)
+    gp.add_dat("deg", "nodes", degree)  # for implicit residual smoothing
+
+    if mesh.inlet_nodes.size:
+        gp.add_set("inlet", mesh.inlet_nodes.size)
+        gp.add_map("pinlet", "inlet", "nodes",
+                   mesh.inlet_nodes.reshape(-1, 1))
+        gp.add_dat("inlet_area", "inlet", mesh.inlet_area)
+    if mesh.outlet_nodes.size:
+        gp.add_set("outlet", mesh.outlet_nodes.size)
+        gp.add_map("poutlet", "outlet", "nodes",
+                   mesh.outlet_nodes.reshape(-1, 1))
+        gp.add_dat("outlet_area", "outlet", mesh.outlet_area)
+
+    gp.add_set("wall", mesh.wall_nodes.size)
+    gp.add_map("pwall", "wall", "nodes", mesh.wall_nodes.reshape(-1, 1))
+    gp.add_dat("wall_nz", "wall", mesh.wall_normal_z)
+    return gp
+
+
+def row_owners(mesh: RowMesh, gp: GlobalProblem, nranks: int,
+               scheme: str = "rcb") -> dict[str, np.ndarray]:
+    """Owner arrays for every set of a row problem.
+
+    Nodes are partitioned by ``scheme`` (``"rcb"``, ``"graph"`` or
+    ``"strips"``); derived sets inherit the owner of their first node.
+    """
+    from repro.mesh.partition import (partition_graph_greedy, partition_rcb,
+                                      partition_slabs, partition_strips)
+    from repro.op2.distribute import derive_owner_from_map
+
+    if scheme == "rcb":
+        node_owner = partition_rcb(mesh.coords, nranks)
+    elif scheme == "graph":
+        node_owner = partition_graph_greedy(mesh.edges, mesh.n_nodes, nranks)
+    elif scheme == "strips":
+        node_owner = partition_strips(mesh.n_nodes, nranks)
+    elif scheme == "slabs":
+        node_owner = partition_slabs(mesh.coords, nranks)
+    else:
+        raise ValueError(f"unknown partition scheme {scheme!r}")
+
+    owners = {"nodes": node_owner}
+    for mname, (from_s, _to_s, values) in gp.maps.items():
+        owners[from_s] = derive_owner_from_map(values, node_owner)
+    return owners

@@ -1,0 +1,124 @@
+"""Hydra Sessions: one blade row's solver plus its sliding-plane adapters.
+
+A Hydra Session (HS) is the unit the JM76-style coupler talks to: it
+exposes, per interface side, the *donor* station values the neighbour's
+halo layer needs, and accepts interpolated values for its own halo
+layer. In distributed runs each rank of the session serves only the
+interface nodes it owns; the coupler's routing tables (built once at
+setup) know who owns what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hydra.solver import HydraSolver
+from repro.mesh.annulus import RowMesh
+from repro.op2.distribute import RankLayout
+
+
+@dataclass
+class InterfaceSideInfo:
+    """Static description of one sliding-plane side of a session.
+
+    ``grid_shape`` is (nr, nt); flat positions index the grid row-major
+    (iz * nt + it). ``y`` / ``z`` give each grid point's coordinates.
+    """
+
+    side: str                     #: "in" or "out"
+    grid_shape: tuple[int, int]
+    y: np.ndarray                 #: (nr*nt,) circumferential positions
+    z: np.ndarray                 #: (nr*nt,) radial positions
+    circumference: float
+    frame_velocity: float         #: this row's frame speed (omega * r_mid)
+    #: flat grid positions this rank owns, for donor reads / halo writes
+    owned_donor_pos: np.ndarray
+    owned_halo_pos: np.ndarray
+    #: matching local node ids
+    _donor_local: np.ndarray
+    _halo_local: np.ndarray
+
+
+class HydraSession:
+    """One row's solver with sliding-plane data adapters."""
+
+    def __init__(self, solver: HydraSolver, mesh: RowMesh,
+                 layout: RankLayout | None = None) -> None:
+        self.solver = solver
+        self.mesh = mesh
+        self.layout = layout
+        self.sides: dict[str, InterfaceSideInfo] = {}
+        cfg = mesh.config
+        if cfg.halo_in:
+            self.sides["in"] = self._build_side(
+                "in", mesh.iface_in_donor, mesh.iface_in_halo)
+        if cfg.halo_out:
+            self.sides["out"] = self._build_side(
+                "out", mesh.iface_out_donor, mesh.iface_out_halo)
+
+    # -- construction ----------------------------------------------------
+    def _global_to_local(self, gids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(flat positions owned here, local node indices) for grid ids."""
+        if self.layout is None:
+            return np.arange(gids.size), gids.ravel()
+        owned = self.layout.set_layouts["nodes"].owned
+        if owned.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        flat = gids.ravel()
+        idx = np.searchsorted(owned, flat)
+        idx = np.minimum(idx, len(owned) - 1)
+        mine = owned[idx] == flat
+        return np.nonzero(mine)[0], idx[mine]
+
+    def _build_side(self, side: str, donor_grid: np.ndarray,
+                    halo_grid: np.ndarray) -> InterfaceSideInfo:
+        cfg = self.mesh.config
+        coords = self.mesh.coords
+        flat = donor_grid.ravel()
+        y = coords[flat, 1]
+        z = coords[flat, 2]
+        donor_pos, donor_local = self._global_to_local(donor_grid)
+        halo_pos, halo_local = self._global_to_local(halo_grid)
+        return InterfaceSideInfo(
+            side=side, grid_shape=donor_grid.shape, y=y, z=z,
+            circumference=cfg.circumference,
+            frame_velocity=cfg.wheel_speed,
+            owned_donor_pos=donor_pos, owned_halo_pos=halo_pos,
+            _donor_local=donor_local, _halo_local=halo_local,
+        )
+
+    # -- coupler data plane ------------------------------------------------
+    def donor_values(self, side: str) -> tuple[np.ndarray, np.ndarray]:
+        """(flat positions, conserved values) of owned donor-grid nodes."""
+        info = self.sides[side]
+        values = self.solver.q.data_with_halos[info._donor_local].copy()
+        return info.owned_donor_pos, values
+
+    def apply_halo_values(self, side: str, positions: np.ndarray,
+                          values: np.ndarray) -> None:
+        """Write interpolated conserved values into owned halo nodes.
+
+        ``positions`` are flat grid positions; they must be a subset of
+        ``owned_halo_pos``. Call :meth:`finish_coupling` afterwards on
+        **every** rank of the session (collectively) so halo-staleness
+        flags stay consistent.
+        """
+        info = self.sides[side]
+        lookup = {int(p): i for i, p in enumerate(info.owned_halo_pos)}
+        try:
+            rows = np.array([lookup[int(p)] for p in positions], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(
+                f"position {exc} is not an owned halo node of side {side!r}"
+            ) from None
+        self.solver.q.data_with_halos[info._halo_local[rows]] = values
+
+    def finish_coupling(self) -> None:
+        """Collectively mark the state stale after halo injection."""
+        self.solver.q.mark_halo_stale()
+
+    # -- static routing info for the coupler setup --------------------------
+    def side_geometry(self, side: str) -> InterfaceSideInfo:
+        return self.sides[side]

@@ -1,0 +1,31 @@
+"""Mesh substrate: annulus blade-row meshes, Rig250, partitioners.
+
+Blade rows are generated as structured-as-unstructured annulus meshes
+in mapped-Cartesian coordinates (x axial, y = r_mid·θ circumferential
+and periodic, z radial) — the linear-cascade approximation standard in
+turbomachinery. Rows that meet another row get a sliding-plane *halo
+layer*: one extruded cell of overlap whose node values are set by the
+coupler each step (the paper's pre-processing extrusion).
+"""
+
+from repro.mesh.config import RowConfig, RowKind
+from repro.mesh.annulus import RowMesh, make_row_mesh
+from repro.mesh.rig250 import Rig250Config, rig250_config
+from repro.mesh.metrics import MeshQuality, assess, closure_defect
+from repro.mesh.partition import (
+    edge_cut,
+    imbalance,
+    partition_graph_greedy,
+    partition_rcb,
+    partition_slabs,
+    partition_strips,
+)
+
+__all__ = [
+    "RowConfig", "RowKind", "RowMesh", "make_row_mesh",
+    "Rig250Config", "rig250_config",
+    "partition_rcb", "partition_graph_greedy", "partition_strips",
+    "partition_slabs",
+    "edge_cut", "imbalance",
+    "MeshQuality", "assess", "closure_defect",
+]

@@ -1,0 +1,201 @@
+"""Annulus blade-row mesh generation.
+
+Builds one row's structured-as-unstructured mesh for the
+vertex-centred, edge-based finite-volume solver (mini-Hydra's motif):
+nodes carry the state, edges carry dual-face normal weights, and the
+boundary face sets (inlet/outlet/hub/casing walls) close the control
+volumes. When a row meets a neighbour, the mesh is extruded by one
+axial layer of *sliding-plane halo nodes* whose values the coupler
+interpolates from the adjacent row each time it moves — the paper's
+one-cell-overlap pre-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.config import RowConfig
+
+
+@dataclass
+class RowMesh:
+    """One blade row's mesh in mapped-Cartesian coordinates.
+
+    Node ids are ``(iz * nt + it) * nxt + ix`` with ``ix`` covering the
+    extruded axial range ``[0, nxt)``; ``ix0_core`` marks where the
+    core (time-advanced) stations start.
+    """
+
+    config: RowConfig
+    coords: np.ndarray            #: (N, 3) node positions (x, y, z)
+    edges: np.ndarray             #: (E, 2) node pairs
+    edge_w: np.ndarray            #: (E, 3) dual-face normals, node0 -> node1
+    node_vol: np.ndarray          #: (N,) dual-cell volumes
+    node_mask: np.ndarray         #: (N,) 1.0 core / 0.0 sliding halo
+    #: boundary faces as (node id, outward normal (3,), area) arrays
+    inlet_nodes: np.ndarray       #: empty if the inlet is a sliding plane
+    inlet_area: np.ndarray
+    outlet_nodes: np.ndarray
+    outlet_area: np.ndarray
+    wall_nodes: np.ndarray        #: hub + casing nodes
+    wall_normal_z: np.ndarray     #: outward z normal sign * area
+    #: interface node grids, shape (nr, nt); empty (0, 0) when absent.
+    #: *plane* = last core station, *halo* = extruded overlap layer,
+    #: *donor* = one core station inside the plane — the station that
+    #: geometrically coincides with the neighbour row's halo layer
+    iface_in_plane: np.ndarray
+    iface_in_halo: np.ndarray
+    iface_in_donor: np.ndarray
+    iface_out_plane: np.ndarray
+    iface_out_halo: np.ndarray
+    iface_out_donor: np.ndarray
+    nxt: int
+    ix0_core: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        return self.edges.shape[0]
+
+    def node_id(self, iz: int, it: int, ix: int) -> int:
+        return (iz * self.config.nt + it) * self.nxt + ix
+
+    def theta(self) -> np.ndarray:
+        """Circumferential angle of every node."""
+        return self.coords[:, 1] / self.config.r_mid
+
+    def __repr__(self) -> str:
+        return (
+            f"RowMesh({self.config.name!r}, nodes={self.n_nodes}, "
+            f"edges={self.n_edges}, halo_in={self.config.halo_in}, "
+            f"halo_out={self.config.halo_out})"
+        )
+
+
+def make_row_mesh(cfg: RowConfig) -> RowMesh:
+    """Generate the mesh (plus sliding halo layers) for one blade row."""
+    nr, nt, nx = cfg.nr, cfg.nt, cfg.nx
+    dx = (cfg.x1 - cfg.x0) / (nx - 1)
+    dy = cfg.circumference / nt
+    dz = (cfg.r_outer - cfg.r_inner) / (nr - 1)
+
+    n_in = 1 if cfg.halo_in else 0
+    n_out = 1 if cfg.halo_out else 0
+    nxt = nx + n_in + n_out
+    ix0 = n_in
+
+    xs = cfg.x0 + dx * (np.arange(nxt) - ix0)
+    ys = dy * np.arange(nt)
+    zs = cfg.r_inner + dz * np.arange(nr)
+
+    # node coordinates, id = (iz*nt + it)*nxt + ix
+    Z, Y, X = np.meshgrid(zs, ys, xs, indexing="ij")
+    coords = np.stack([X.ravel(), Y.ravel(), Z.ravel()], axis=1)
+    n_nodes = coords.shape[0]
+
+    def nid(iz, it, ix):
+        return (iz * nt + it) * nxt + ix
+
+    IZ, IT, IX = np.meshgrid(np.arange(nr), np.arange(nt), np.arange(nxt),
+                             indexing="ij")
+    ids = (IZ * nt + IT) * nxt + IX
+
+    # effective spacings (half cells at open boundaries)
+    dz_eff = np.full(nr, dz)
+    dz_eff[0] *= 0.5
+    dz_eff[-1] *= 0.5
+    dx_eff = np.full(nxt, dx)
+    dx_eff[0] *= 0.5
+    dx_eff[-1] *= 0.5
+
+    edge_list: list[np.ndarray] = []
+    w_list: list[np.ndarray] = []
+
+    # +x edges: (iz, it, ix) -> (iz, it, ix+1); face area dy * dz_eff
+    a = ids[:, :, :-1].ravel()
+    b = ids[:, :, 1:].ravel()
+    area = np.broadcast_to((dz_eff * dy)[:, None, None],
+                           (nr, nt, nxt - 1)).ravel()
+    edge_list.append(np.stack([a, b], axis=1))
+    w = np.zeros((a.size, 3))
+    w[:, 0] = area
+    w_list.append(w)
+
+    # +y edges (periodic): (iz, it, ix) -> (iz, (it+1)%nt, ix)
+    a = ids.ravel()
+    b = ids[:, np.r_[1:nt, 0], :].ravel()
+    area = np.broadcast_to(dz_eff[:, None, None] * dx_eff[None, None, :],
+                           (nr, nt, nxt)).ravel()
+    edge_list.append(np.stack([a, b], axis=1))
+    w = np.zeros((a.size, 3))
+    w[:, 1] = area
+    w_list.append(w)
+
+    # +z edges: (iz, it, ix) -> (iz+1, it, ix); face area dx_eff * dy
+    a = ids[:-1].ravel()
+    b = ids[1:].ravel()
+    area = np.broadcast_to((dx_eff * dy)[None, None, :],
+                           (nr - 1, nt, nxt)).ravel()
+    edge_list.append(np.stack([a, b], axis=1))
+    w = np.zeros((a.size, 3))
+    w[:, 2] = area
+    w_list.append(w)
+
+    edges = np.concatenate(edge_list).astype(np.int64)
+    edge_w = np.concatenate(w_list)
+
+    # dual volumes and core mask
+    node_vol = (dz_eff[:, None, None] * dy * dx_eff[None, None, :]
+                * np.ones((nr, nt, nxt))).ravel()
+    node_mask = np.ones(n_nodes)
+    if n_in:
+        node_mask[ids[:, :, 0].ravel()] = 0.0
+    if n_out:
+        node_mask[ids[:, :, -1].ravel()] = 0.0
+
+    # boundary faces ----------------------------------------------------
+    if cfg.halo_in:
+        inlet_nodes = np.empty(0, dtype=np.int64)
+        inlet_area = np.empty(0)
+    else:
+        inlet_nodes = ids[:, :, 0].ravel()
+        inlet_area = np.broadcast_to((dz_eff * dy)[:, None], (nr, nt)).ravel()
+    if cfg.halo_out:
+        outlet_nodes = np.empty(0, dtype=np.int64)
+        outlet_area = np.empty(0)
+    else:
+        outlet_nodes = ids[:, :, -1].ravel()
+        outlet_area = np.broadcast_to((dz_eff * dy)[:, None], (nr, nt)).ravel()
+
+    hub = ids[0].ravel()
+    casing = ids[-1].ravel()
+    wall_nodes = np.concatenate([hub, casing])
+    face_area = np.broadcast_to((dx_eff * dy)[None, :], (nt, nxt)).ravel()
+    wall_normal_z = np.concatenate([-face_area, face_area])
+
+    # interface grids ------------------------------------------------------
+    empty = np.empty((0, 0), dtype=np.int64)
+    iface_in_plane = ids[:, :, ix0].copy() if cfg.halo_in else empty
+    iface_in_halo = ids[:, :, 0].copy() if cfg.halo_in else empty
+    iface_in_donor = ids[:, :, ix0 + 1].copy() if cfg.halo_in else empty
+    iface_out_plane = ids[:, :, ix0 + nx - 1].copy() if cfg.halo_out else empty
+    iface_out_halo = ids[:, :, -1].copy() if cfg.halo_out else empty
+    iface_out_donor = ids[:, :, ix0 + nx - 2].copy() if cfg.halo_out else empty
+
+    return RowMesh(
+        config=cfg, coords=coords, edges=edges, edge_w=edge_w,
+        node_vol=node_vol, node_mask=node_mask,
+        inlet_nodes=inlet_nodes, inlet_area=inlet_area,
+        outlet_nodes=outlet_nodes, outlet_area=outlet_area,
+        wall_nodes=wall_nodes, wall_normal_z=wall_normal_z,
+        iface_in_plane=iface_in_plane, iface_in_halo=iface_in_halo,
+        iface_in_donor=iface_in_donor,
+        iface_out_plane=iface_out_plane, iface_out_halo=iface_out_halo,
+        iface_out_donor=iface_out_donor,
+        nxt=nxt, ix0_core=ix0,
+    )

@@ -1,0 +1,109 @@
+"""Blade-row configuration records."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class RowKind(enum.Enum):
+    """Role of a blade row in the compressor."""
+
+    IGV = "igv"          #: inlet guide vane (stationary, pre-swirl)
+    ROTOR = "rotor"      #: rotating row (adds work)
+    STATOR = "stator"    #: stationary row (removes swirl, raises pressure)
+    OGV = "ogv"          #: outlet guide vane at the exit
+    SWAN_NECK = "swan"   #: duct orienting flow into the compressor inlet
+
+
+@dataclass
+class RowConfig:
+    """Geometry, resolution and blade model of one annulus blade row.
+
+    Coordinates are mapped-Cartesian: ``x`` axial over ``[x0, x1]``,
+    ``y = r_mid * theta`` circumferential (periodic over the full
+    annulus), ``z`` radial over ``[r_inner, r_outer]``.
+    """
+
+    name: str
+    kind: RowKind
+    #: resolution: radial layers, circumferential points, axial stations
+    nr: int = 4
+    nt: int = 32
+    nx: int = 6
+    x0: float = 0.0
+    x1: float = 1.0
+    r_inner: float = 2.0
+    r_outer: float = 3.0
+    #: shaft speed in rad/s (nonzero only for rotors)
+    omega: float = 0.0
+    blade_count: int = 24
+    #: periodic sector count: 1 = full annulus (the paper's URANS
+    #: requirement); k > 1 models a 1/k sector, legal only when the
+    #: blade count divides by k (else the geometric pitch would need
+    #: altering — the approximation error the paper calls out)
+    sector: int = 1
+    #: blade-force model: target swirl velocity added (rotor) or removed
+    #: (stator/vane rows), and relaxation rate
+    turning_velocity: float = 0.0
+    force_rate: float = 20.0
+    #: rotor work input coefficient (axial pressure-rise source)
+    work_coeff: float = 0.0
+    #: wake-strength modulation of the blade force (drives unsteadiness)
+    wake_amplitude: float = 0.15
+    #: sliding-plane halo layers (set by the compressor assembler)
+    halo_in: bool = False
+    halo_out: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nr < 2 or self.nt < 3 or self.nx < 2:
+            raise ValueError(
+                f"row {self.name!r}: need nr>=2, nt>=3, nx>=2, got "
+                f"nr={self.nr}, nt={self.nt}, nx={self.nx}"
+            )
+        if self.x1 <= self.x0:
+            raise ValueError(f"row {self.name!r}: x1 must exceed x0")
+        if self.r_outer <= self.r_inner:
+            raise ValueError(f"row {self.name!r}: r_outer must exceed r_inner")
+        if self.blade_count < 1:
+            raise ValueError(f"row {self.name!r}: blade_count must be >= 1")
+        if self.sector < 1:
+            raise ValueError(f"row {self.name!r}: sector must be >= 1")
+        if self.blade_count % self.sector != 0:
+            raise ValueError(
+                f"row {self.name!r}: a 1/{self.sector} sector of "
+                f"{self.blade_count} blades would require altering the "
+                f"geometric pitch (blade_count must divide by sector)"
+            )
+
+    @property
+    def r_mid(self) -> float:
+        return 0.5 * (self.r_inner + self.r_outer)
+
+    @property
+    def circumference(self) -> float:
+        """Circumferential extent of the modelled domain (y-range)."""
+        return 2.0 * math.pi * self.r_mid / self.sector
+
+    @property
+    def is_rotating(self) -> bool:
+        return self.omega != 0.0
+
+    @property
+    def wheel_speed(self) -> float:
+        """Blade speed at mid radius, Omega * r_mid."""
+        return self.omega * self.r_mid
+
+    @property
+    def min_spacing(self) -> float:
+        """Smallest grid spacing — the explicit-CFL length scale."""
+        dx = (self.x1 - self.x0) / (self.nx - 1)
+        dy = self.circumference / self.nt
+        dz = (self.r_outer - self.r_inner) / (self.nr - 1)
+        return min(dx, dy, dz)
+
+    @property
+    def n_nodes(self) -> int:
+        """Core node count (excluding sliding-plane halo layers)."""
+        return self.nr * self.nt * self.nx

@@ -1,0 +1,329 @@
+"""Distribution planning: a serial OP2 problem → per-rank local problems.
+
+Given plain-array descriptions of sets, maps and dats plus an owner
+array per set, :func:`plan_distribution` computes, for every rank, the
+classic OP2 halo layout::
+
+    [ owned | import-exec | import-nonexec ]
+
+* an element of an iteration set S belongs to rank p's **exec halo** if
+  p does not own it but some map out of S reaches an element p owns —
+  those elements are executed redundantly so p's owned data receives
+  every indirect increment locally;
+* an element of a target set T is in p's **nonexec halo** if it is
+  referenced by p's owned∪exec rows of any map into T but is neither
+  owned nor already an exec-halo entry of T.
+
+The planner also builds the matched exchange plans: ``"full"``
+(all halo entries), ``"exec"`` (exec region only — what a direct read
+under redundant execution needs), and one per map (exactly the halo
+entries reachable through that map — the partial-halo optimization).
+
+Planning runs centrally (it needs the global picture); each rank then
+materializes its :class:`LocalProblem` with :func:`build_local_problem`
+inside its own thread, attaching its communicator to the halos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.op2.dat import Dat
+from repro.op2.halo import ExchangePlan, SetHalo
+from repro.op2.map import Map
+from repro.op2.set import Set
+from repro.smpi import SimComm
+from repro.util.validation import check_index_array
+
+
+@dataclass
+class GlobalProblem:
+    """Plain-array description of a serial problem to distribute."""
+
+    sets: dict[str, int] = field(default_factory=dict)
+    #: name -> (from_set, to_set, values (size, arity))
+    maps: dict[str, tuple[str, str, np.ndarray]] = field(default_factory=dict)
+    #: name -> (set, data (size, dim))
+    dats: dict[str, tuple[str, np.ndarray]] = field(default_factory=dict)
+
+    def add_set(self, name: str, size: int) -> None:
+        self.sets[name] = int(size)
+
+    def add_map(self, name: str, from_set: str, to_set: str,
+                values: np.ndarray) -> None:
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        if values.ndim != 2 or values.shape[0] != self.sets[from_set]:
+            raise ValueError(
+                f"map {name!r} values must be ({self.sets[from_set]}, arity), "
+                f"got {values.shape}"
+            )
+        check_index_array(f"map {name!r}", values, self.sets[to_set])
+        self.maps[name] = (from_set, to_set, values)
+
+    def add_dat(self, name: str, set_name: str, data: np.ndarray) -> None:
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        if data.shape[0] != self.sets[set_name]:
+            raise ValueError(
+                f"dat {name!r} must have {self.sets[set_name]} rows, "
+                f"got {data.shape}"
+            )
+        self.dats[name] = (set_name, data)
+
+
+@dataclass
+class SetLayout:
+    """One rank's view of one set, in global ids."""
+
+    owned: np.ndarray
+    exec_halo: np.ndarray
+    nonexec_halo: np.ndarray
+    #: plans in local indices; neighbour keys are communicator ranks
+    plans: dict[str, ExchangePlan] = field(default_factory=dict)
+
+    @property
+    def global_ids(self) -> np.ndarray:
+        return np.concatenate([self.owned, self.exec_halo, self.nonexec_halo])
+
+    @property
+    def n_local(self) -> int:
+        return len(self.owned) + len(self.exec_halo) + len(self.nonexec_halo)
+
+
+@dataclass
+class RankLayout:
+    """Everything one rank needs to build its local problem."""
+
+    rank: int
+    set_layouts: dict[str, SetLayout] = field(default_factory=dict)
+    #: localized map tables covering [owned + exec] rows of the from-set
+    map_tables: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def derive_owner_from_map(values: np.ndarray, target_owner: np.ndarray) -> np.ndarray:
+    """Derive element ownership as the owner of each element's first target.
+
+    The standard recipe for derived sets (edges, cells) once a primary
+    set (nodes) has been partitioned.
+    """
+    return target_owner[values[:, 0]]
+
+
+def plan_distribution(problem: GlobalProblem, nranks: int,
+                      owners: dict[str, np.ndarray]) -> list[RankLayout]:
+    """Compute per-rank layouts for ``problem`` under ``owners``.
+
+    ``owners[set_name][gid]`` is the owning rank of each element; every
+    set of the problem must be covered.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    for sname, size in problem.sets.items():
+        if sname not in owners:
+            raise ValueError(f"no owner array supplied for set {sname!r}")
+        arr = owners[sname]
+        if arr.shape != (size,):
+            raise ValueError(
+                f"owners[{sname!r}] must have shape ({size},), got {arr.shape}"
+            )
+        check_index_array(f"owners[{sname!r}]", arr, nranks)
+
+    layouts = [RankLayout(rank=p) for p in range(nranks)]
+
+    # -- owned ---------------------------------------------------------
+    owned: dict[str, list[np.ndarray]] = {}
+    for sname, size in problem.sets.items():
+        own = owners[sname]
+        owned[sname] = [np.nonzero(own == p)[0] for p in range(nranks)]
+
+    # -- exec halos ------------------------------------------------------
+    # element e of S (owner q) is exec-halo on p != q if any map out of S
+    # reaches a target owned by p from row e
+    exec_sets: dict[str, list[set[int]]] = {
+        sname: [set() for _ in range(nranks)] for sname in problem.sets
+    }
+    for _mname, (from_s, to_s, values) in problem.maps.items():
+        row_owner = owners[from_s]
+        tgt_owner = owners[to_s][values]  # (n, arity)
+        for col in range(values.shape[1]):
+            across = tgt_owner[:, col] != row_owner
+            rows = np.nonzero(across)[0]
+            dest = tgt_owner[rows, col]
+            for p in np.unique(dest):
+                exec_sets[from_s][int(p)].update(rows[dest == p].tolist())
+    exec_halo: dict[str, list[np.ndarray]] = {
+        sname: [np.array(sorted(s), dtype=np.int64) for s in per_rank]
+        for sname, per_rank in exec_sets.items()
+    }
+
+    # -- nonexec halos -----------------------------------------------------
+    nonexec_sets: dict[str, list[set[int]]] = {
+        sname: [set() for _ in range(nranks)] for sname in problem.sets
+    }
+    for p in range(nranks):
+        for _mname, (from_s, to_s, values) in problem.maps.items():
+            rows = np.concatenate([owned[from_s][p], exec_halo[from_s][p]])
+            if rows.size == 0:
+                continue
+            referenced = np.unique(values[rows])
+            mine = owners[to_s][referenced] == p
+            foreign = referenced[~mine]
+            in_exec = np.isin(foreign, exec_halo[to_s][p], assume_unique=False)
+            nonexec_sets[to_s][p].update(foreign[~in_exec].tolist())
+    nonexec_halo: dict[str, list[np.ndarray]] = {
+        sname: [np.array(sorted(s), dtype=np.int64) for s in per_rank]
+        for sname, per_rank in nonexec_sets.items()
+    }
+
+    # -- local numbering and global->local lookups -------------------------
+    glob2loc: dict[tuple[str, int], np.ndarray] = {}
+    for sname, size in problem.sets.items():
+        for p in range(nranks):
+            layout = SetLayout(
+                owned=owned[sname][p],
+                exec_halo=exec_halo[sname][p],
+                nonexec_halo=nonexec_halo[sname][p],
+            )
+            layouts[p].set_layouts[sname] = layout
+            lookup = np.full(size, -1, dtype=np.int64)
+            gids = layout.global_ids
+            lookup[gids] = np.arange(len(gids))
+            glob2loc[(sname, p)] = lookup
+
+    # -- localized map tables --------------------------------------------
+    for mname, (from_s, to_s, values) in problem.maps.items():
+        for p in range(nranks):
+            rows = np.concatenate([owned[from_s][p], exec_halo[from_s][p]])
+            local = glob2loc[(to_s, p)][values[rows]]
+            if (local < 0).any():  # pragma: no cover - planner invariant
+                raise RuntimeError(
+                    f"map {mname!r}: rank {p} references targets missing from "
+                    f"its halo — distribution planning bug"
+                )
+            layouts[p].map_tables[mname] = local
+
+    # -- exchange plans -----------------------------------------------------
+    for sname, size in problem.sets.items():
+        own = owners[sname]
+        for p in range(nranks):
+            layout = layouts[p].set_layouts[sname]
+            n_owned = len(layout.owned)
+            halo_gids = np.concatenate([layout.exec_halo, layout.nonexec_halo])
+            halo_local = np.arange(n_owned, n_owned + len(halo_gids))
+
+            scopes: dict[str, tuple[np.ndarray, np.ndarray]] = {
+                "full": (halo_gids, halo_local),
+                "exec": (layout.exec_halo,
+                         np.arange(n_owned, n_owned + len(layout.exec_halo))),
+            }
+            # per-map partial scopes: halo entries reachable via that map
+            for mname, (from_s, to_s, _values) in problem.maps.items():
+                if to_s != sname:
+                    continue
+                table = layouts[p].map_tables.get(mname)
+                if table is None or table.size == 0:
+                    scopes[mname] = (halo_gids[:0], halo_local[:0])
+                    continue
+                referenced = np.unique(table)
+                ref_halo = referenced[referenced >= n_owned]
+                gids = layout.global_ids[ref_halo]
+                scopes[mname] = (gids, ref_halo)
+
+            for scope_name, (gids, locals_) in scopes.items():
+                plan = ExchangePlan(name=scope_name)
+                if gids.size:
+                    src_ranks = own[gids]
+                    for q in np.unique(src_ranks):
+                        sel = src_ranks == q
+                        plan.recv[int(q)] = locals_[sel]
+                        # matched send list on q: positions in q's owned block
+                        send_local = np.searchsorted(owned[sname][int(q)],
+                                                     gids[sel])
+                        q_plan = layouts[int(q)].set_layouts[sname].plans
+                        q_entry = q_plan.setdefault(scope_name,
+                                                    ExchangePlan(name=scope_name))
+                        q_entry.send[p] = send_local
+                layout.plans.setdefault(scope_name, plan)
+                layout.plans[scope_name].recv = plan.recv
+
+    return layouts
+
+
+@dataclass
+class LocalProblem:
+    """One rank's materialized sets, maps and dats."""
+
+    comm: SimComm
+    sets: dict[str, Set] = field(default_factory=dict)
+    maps: dict[str, Map] = field(default_factory=dict)
+    dats: dict[str, Dat] = field(default_factory=dict)
+    layout: RankLayout | None = None
+
+    def set_(self, name: str) -> Set:
+        return self.sets[name]
+
+    def map_(self, name: str) -> Map:
+        return self.maps[name]
+
+    def dat(self, name: str) -> Dat:
+        return self.dats[name]
+
+
+def build_local_problem(problem: GlobalProblem, layout: RankLayout,
+                        comm: SimComm) -> LocalProblem:
+    """Materialize ``layout`` into live OP2 objects on this rank."""
+    local = LocalProblem(comm=comm, layout=layout)
+    for sname in problem.sets:
+        sl = layout.set_layouts[sname]
+        s = Set(len(sl.owned), name=sname)
+        s.halo = SetHalo(
+            comm=comm,
+            n_exec=len(sl.exec_halo),
+            n_nonexec=len(sl.nonexec_halo),
+            global_ids=sl.global_ids,
+            plans=sl.plans,
+        )
+        local.sets[sname] = s
+    for mname, (from_s, to_s, _values) in problem.maps.items():
+        table = layout.map_tables[mname]
+        local.maps[mname] = Map(
+            local.sets[from_s], local.sets[to_s], table.shape[1], table,
+            name=mname,
+        )
+    for dname, (sname, data) in problem.dats.items():
+        sl = layout.set_layouts[sname]
+        local_data = data[sl.global_ids]
+        d = Dat(local.sets[sname], data.shape[1], data=local_data, name=dname)
+        d.mark_halo_fresh("full")
+        local.dats[dname] = d
+    return local
+
+
+def build_serial_problem(problem: GlobalProblem) -> LocalProblem:
+    """Materialize a GlobalProblem as plain serial OP2 objects (no halos)."""
+    local = LocalProblem(comm=None)  # type: ignore[arg-type]
+    for sname, size in problem.sets.items():
+        local.sets[sname] = Set(size, name=sname)
+    for mname, (from_s, to_s, values) in problem.maps.items():
+        local.maps[mname] = Map(local.sets[from_s], local.sets[to_s],
+                                values.shape[1], values, name=mname)
+    for dname, (sname, data) in problem.dats.items():
+        local.dats[dname] = Dat(local.sets[sname], data.shape[1],
+                                data=data.copy(), name=dname)
+    return local
+
+
+def gather_dat(comm: SimComm, dat: Dat, layout: RankLayout,
+               global_size: int) -> np.ndarray | None:
+    """Collect owned rows from every rank into the global array (root 0)."""
+    sl = layout.set_layouts[dat.set.name]
+    pieces = comm.gather((sl.owned, dat.data_ro.copy()), root=0)
+    if comm.rank != 0:
+        return None
+    out = np.zeros((global_size, dat.dim), dtype=dat.dtype)
+    for gids, values in pieces:
+        out[gids] = values
+    return out

@@ -1,0 +1,192 @@
+"""The par_loop frontend: validation, dispatch, and MPI orchestration.
+
+``par_loop(kernel, iterset, *args)`` is the single entry point of the
+DSL (the paper's ``op_par_loop``). It validates the argument list,
+derives the loop *signature* that drives code generation, and executes
+through the configured backend. For distributed sets it additionally
+performs the paper's owner-compute protocol:
+
+1. forward halo exchanges for every stale dat the loop will read
+   (full, or partial per-map/exec-region when ``Config.partial_halos``
+   is on; packed per-neighbour when ``Config.grouped_halos`` is on);
+2. execution over owned elements, then **redundant execution** over
+   the import-exec halo with a discarded reduction buffer so global
+   reductions count each element exactly once;
+3. staleness marking for every written dat and an allreduce to
+   finalize reductions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.op2.access import Access, READING, WRITING
+from repro.op2.args import Arg
+from repro.op2.backends import ReductionBuffers, resolve_backend
+from repro.op2.config import current_config
+from repro.op2.halo import exchange_halos
+from repro.op2.kernel import Kernel
+from repro.op2.set import Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.op2.backends.base import Backend
+
+
+class ParLoop:
+    """A validated parallel loop over ``iterset``."""
+
+    def __init__(self, kernel: Kernel, iterset: Set, args: list[Arg]) -> None:
+        if not isinstance(kernel, Kernel):
+            raise TypeError(f"kernel must be a Kernel, got {type(kernel).__name__}")
+        if not isinstance(iterset, Set):
+            raise TypeError(f"iterset must be a Set, got {type(iterset).__name__}")
+        if len(kernel.params) != len(args):
+            raise ValueError(
+                f"kernel {kernel.name!r} takes {len(kernel.params)} parameters "
+                f"but {len(args)} loop arguments were supplied"
+            )
+        for arg in args:
+            if not isinstance(arg, Arg):
+                raise TypeError(f"loop arguments must be Args, got {arg!r}")
+            arg.validate_for(iterset)
+        self.kernel = kernel
+        self.iterset = iterset
+        self.args = args
+
+    # -- loop characterization ------------------------------------------
+    @property
+    def has_indirect_writes(self) -> bool:
+        return any(
+            a.is_indirect and a.access in (Access.INC, Access.WRITE)
+            for a in self.args
+        )
+
+    def signature(self) -> tuple:
+        """Hashable per-arg descriptor tuple driving code generation."""
+        sig = []
+        for arg in self.args:
+            if arg.is_global:
+                sig.append(("gbl", arg.access, arg.dim))
+            else:
+                addressing = ("direct" if arg.is_direct
+                              else "all" if arg.is_vector else "idx")
+                arity = arg.map.arity if arg.map is not None else 0
+                sig.append(("dat", arg.access, addressing, arg.dim, arity))
+        return tuple(sig)
+
+    def flatten_bindings(self, reductions: ReductionBuffers) -> list:
+        """Runtime arrays in the order generated wrappers expect."""
+        flat: list = []
+        for i, arg in enumerate(self.args):
+            if arg.is_global:
+                if arg.is_reduction:
+                    flat.append(reductions.buffer_for(i))
+                else:
+                    flat.append(arg.data.data)
+            else:
+                flat.append(arg.data.data_with_halos)
+                if arg.is_indirect:
+                    if arg.is_vector:
+                        flat.append(arg.map.values)
+                    else:
+                        flat.append(arg.map.column(arg.idx))
+        return flat
+
+    # -- execution --------------------------------------------------------
+    def execute(self, backend_name: str | None = None) -> None:
+        cfg = current_config()
+        backend = resolve_backend(backend_name or cfg.backend)
+        profiling = cfg.profile
+        t0 = time.perf_counter() if profiling else 0.0
+        if self.iterset.is_distributed:
+            halo_seconds = self._execute_distributed(backend)
+        else:
+            halo_seconds = 0.0
+            reductions = ReductionBuffers(self.args)
+            backend.execute(self, 0, self.iterset.size, reductions)
+            reductions.finalize(None)
+            self._mark_written_stale()
+        if profiling:
+            from repro.op2.profiling import current_profile
+
+            elapsed = time.perf_counter() - t0
+            current_profile().record(
+                self.kernel.name, compute=elapsed - halo_seconds,
+                halo=halo_seconds, elements=self.iterset.size)
+
+    def _execute_distributed(self, backend: "Backend") -> float:
+        """Run distributed; returns seconds spent in halo exchanges."""
+        cfg = current_config()
+        assert self.iterset.halo is not None
+        comm = self.iterset.halo.comm
+        extent = (self.iterset.exec_size if self.has_indirect_writes
+                  else self.iterset.size)
+        t0 = time.perf_counter()
+        self._refresh_halos(extent, cfg)
+        halo_seconds = time.perf_counter() - t0
+
+        reductions = ReductionBuffers(self.args)
+        backend.execute(self, 0, self.iterset.size, reductions)
+        if extent > self.iterset.size:
+            scratch = ReductionBuffers(self.args)
+            backend.execute(self, self.iterset.size, extent, scratch)
+        self._mark_written_stale()
+        reductions.finalize(comm)
+        return halo_seconds
+
+    def _refresh_halos(self, extent: int, cfg) -> None:
+        """Forward-exchange every stale dat the loop will read from halos."""
+        # collect needed scopes per dat
+        needs: dict[int, tuple] = {}  # id(dat) -> (dat, set of scope keys)
+        for arg in self.args:
+            if not arg.is_dat or arg.access not in READING:
+                continue
+            dat = arg.data
+            if dat.set.halo is None:
+                continue
+            if arg.is_indirect:
+                scope = arg.map.name if cfg.partial_halos else "full"
+            else:
+                if extent <= self.iterset.size:
+                    continue  # owned-only direct reads touch no halo
+                scope = "exec" if cfg.partial_halos else "full"
+            entry = needs.setdefault(id(dat), (dat, set()))
+            entry[1].add(scope)
+
+        # group stale dats by (set, resolved scope) and exchange together
+        groups: dict[tuple[int, str], tuple] = {}
+        for dat, scopes in needs.values():
+            scope = scopes.pop() if len(scopes) == 1 else "full"
+            if dat.is_fresh_for(scope):
+                continue
+            key = (id(dat.set), scope)
+            groups.setdefault(key, (dat.set, scope, []))[2].append(dat)
+        for sset, scope, dats in groups.values():
+            exchange_halos(sset, dats, scope=scope, grouped=cfg.grouped_halos)
+
+    def _mark_written_stale(self) -> None:
+        for arg in self.args:
+            if arg.is_dat and arg.access in WRITING:
+                arg.data.mark_halo_stale()
+
+
+def par_loop(kernel: Kernel, iterset: Set, *args: Arg,
+             backend: str | None = None) -> None:
+    """Declare and immediately execute a parallel loop (OP2's
+    ``op_par_loop``).
+
+    Parameters
+    ----------
+    kernel:
+        The elemental :class:`~repro.op2.kernel.Kernel`; its positional
+        parameters pair up with ``args``.
+    iterset:
+        The set iterated over.
+    args:
+        One :class:`~repro.op2.args.Arg` per kernel parameter, built
+        via ``dat.arg(access, map, idx)`` / ``global_.arg(access)``.
+    backend:
+        Override the configured compute backend for this loop.
+    """
+    ParLoop(kernel, iterset, list(args)).execute(backend)

@@ -1,0 +1,85 @@
+"""OP2 sets: the element classes of an unstructured mesh.
+
+A :class:`Set` is just a named cardinality (nodes, edges, cells,
+boundary faces...). In a distributed run each rank holds a *local*
+Set whose entries are laid out as::
+
+    [ owned | import-exec halo | import-nonexec halo ]
+
+* *owned* elements belong to this rank;
+* the *import-exec* halo holds copies of neighbour-owned elements that
+  this rank executes **redundantly** so its owned data receives every
+  indirect increment locally (the paper's "owner compute model with
+  halo exchanges and redundant computation");
+* the *import-nonexec* halo holds copies that are only ever read.
+
+The halo metadata itself (exchange lists, per-map partial-exchange
+lists) lives in :class:`repro.op2.halo.SetHalo` and is attached by the
+distribution machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.op2.halo import SetHalo
+
+_set_ids = itertools.count()
+
+
+class Set:
+    """A class of mesh elements.
+
+    Parameters
+    ----------
+    size:
+        Number of elements this instance holds. For a serial Set this
+        is the global count; for a distributed local Set it is the
+        number of *owned* elements.
+    name:
+        Diagnostic name; also used in generated-code identifiers, so
+        it must be a valid Python identifier.
+    """
+
+    def __init__(self, size: int, name: str | None = None) -> None:
+        check_positive("Set size", size, strict=False)
+        self.size = int(size)
+        self.name = name if name is not None else f"set{next(_set_ids)}"
+        if not self.name.isidentifier():
+            raise ValueError(f"Set name must be an identifier, got {self.name!r}")
+        #: attached by repro.op2.distribute for distributed runs
+        self.halo: "SetHalo | None" = None
+
+    # -- layout ----------------------------------------------------------
+    @property
+    def exec_size(self) -> int:
+        """Extent of redundant execution: owned + import-exec halo."""
+        if self.halo is None:
+            return self.size
+        return self.size + self.halo.n_exec
+
+    @property
+    def total_size(self) -> int:
+        """All locally stored entries: owned + exec + nonexec halo."""
+        if self.halo is None:
+            return self.size
+        return self.size + self.halo.n_exec + self.halo.n_nonexec
+
+    @property
+    def is_distributed(self) -> bool:
+        return self.halo is not None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        if self.halo is None:
+            return f"Set({self.name!r}, size={self.size})"
+        return (
+            f"Set({self.name!r}, owned={self.size}, "
+            f"exec={self.halo.n_exec}, nonexec={self.halo.n_nonexec})"
+        )

@@ -1,0 +1,62 @@
+"""Machine descriptions (paper Table I and §IV-A4 power measurements)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A cluster node type with its power draw.
+
+    ``device`` distinguishes the compute substrate a Hydra Session uses
+    (CPU cores or GPUs); coupler units always run on CPU cores.
+    """
+
+    name: str
+    device: str                 #: "cpu" or "gpu"
+    cores_per_node: int         #: CPU cores per node
+    gpus_per_node: int = 0
+    node_power_w: float = 0.0
+    #: device memory per GPU in GB (caps the problem size on GPU machines)
+    gpu_memory_gb: float = 0.0
+
+    @property
+    def compute_units(self) -> int:
+        """HS-usable compute units per node (GPUs on GPU machines)."""
+        return self.gpus_per_node if self.device == "gpu" else self.cores_per_node
+
+
+#: ARCHER2: HPE Cray EX, 2x AMD EPYC 7742 (128 cores), 660 W measured
+ARCHER2 = Machine(name="ARCHER2", device="cpu", cores_per_node=128,
+                  node_power_w=660.0)
+
+#: Cirrus GPU nodes: 4x V100 + 2x Cascade Lake (40 cores);
+#: 4*182 W (nvidia-smi) + 172 W host ≈ 900 W (paper §IV-A4)
+CIRRUS = Machine(name="Cirrus", device="gpu", cores_per_node=40,
+                 gpus_per_node=4, node_power_w=4 * 182.0 + 172.0,
+                 gpu_memory_gb=16.0)
+
+#: the 8000-core Intel Haswell production cluster (monolithic baseline)
+HASWELL_PROD = Machine(name="Haswell-prod", device="cpu", cores_per_node=24,
+                       node_power_w=400.0)
+
+#: ARCHER1: Cray XC30, 2x 12-core Ivy Bridge E5-2697v2
+ARCHER1 = Machine(name="ARCHER1", device="cpu", cores_per_node=24,
+                  node_power_w=350.0)
+
+MACHINES = {m.name: m for m in (ARCHER2, CIRRUS, HASWELL_PROD, ARCHER1)}
+
+#: paper §IV-A4: one Cirrus node draws ≈1.36x an ARCHER2 node
+POWER_RATIO_CIRRUS_ARCHER2 = CIRRUS.node_power_w / ARCHER2.node_power_w
+
+
+def power_equivalent_nodes(nodes: int, of: Machine, on: Machine) -> int:
+    """Node count of ``on`` drawing the same power as ``nodes`` of ``of``.
+
+    This is the paper's comparison basis: Cirrus node counts were
+    "determined by dividing ARCHER2 node counts by 1.36 and rounding".
+    """
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    return max(1, round(nodes * of.node_power_w / on.node_power_w))

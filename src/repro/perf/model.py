@@ -1,0 +1,245 @@
+"""The mechanistic cost model.
+
+Time per outer step is decomposed exactly as the instrumented mini runs
+decompose it::
+
+    T_step = T_compute + T_halo + T_wait(coupler)
+
+* **compute** — mesh-node updates at the device's calibrated rate,
+  over the compute units left for Hydra Sessions after CU allocation;
+* **halo** — a bandwidth term on the per-rank surface
+  ``(N/units)^(2/3)`` plus a latency term growing with machine size;
+  the PH/GH/GG communication optimizations scale these terms by ratios
+  measured on the mini runs (Table III);
+* **coupler wait** — a part proportional to compute (interpolation and
+  load-imbalance synchronization) plus the non-overlapped fraction of
+  the CU search/serve time, whose form follows the implemented
+  algorithms: per-CU windowed brute-force is ``targets × window``
+  comparisons, per-CU ADT is ``build + targets × (log2(window)+leaf)``,
+  and per-CU communication adds a term *growing* with the CU count —
+  the diminishing-returns effect of Table II.
+
+The monolithic baseline replaces the CU term with the trapped inline
+search: full-annulus brute force concentrated on the ranks owning
+interface nodes, whose count grows only sublinearly with the machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.perf.calibrate import CALIBRATION, Calibration
+from repro.perf.machine import Machine
+from repro.perf.problems import ProblemSpec
+
+
+@dataclass
+class RunOptions:
+    """Execution configuration knobs of a modelled run."""
+
+    mode: str = "coupled"             #: "coupled" or "monolithic"
+    cus_total: int | None = None      #: None = paper default (30 CPU/40 GPU)
+    search: str = "adt"
+    partial_halos: bool | None = None     #: None = machine default
+    grouped_halos: bool | None = None
+    gpu_gather: bool | None = None
+
+    def resolved(self, machine: Machine) -> "RunOptions":
+        """Fill machine-dependent defaults (the paper's tuned configs)."""
+        gpu = machine.device == "gpu"
+        return replace(
+            self,
+            cus_total=(self.cus_total if self.cus_total is not None
+                       else (40 if gpu else 30)),
+            partial_halos=(self.partial_halos
+                           if self.partial_halos is not None else True),
+            # GH pays on GPUs (PCIe copies) but not on CPUs (packing cost)
+            grouped_halos=(self.grouped_halos
+                           if self.grouped_halos is not None else gpu),
+            gpu_gather=(self.gpu_gather
+                        if self.gpu_gather is not None else True),
+        )
+
+
+@dataclass
+class StepBreakdown:
+    """Cost components of one outer time step, in seconds."""
+
+    compute: float
+    halo: float
+    wait: float
+    coupler_serve: float      #: raw CU (or inline) time, pre-overlap
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.halo + self.wait
+
+    @property
+    def wait_fraction(self) -> float:
+        return self.wait / self.total if self.total > 0 else 0.0
+
+
+class PerfModel:
+    """Projects step times for any (problem, machine, nodes, options)."""
+
+    def __init__(self, calibration: Calibration | None = None) -> None:
+        self.c = calibration or CALIBRATION
+
+    # -- helpers ---------------------------------------------------------
+    def _units(self, problem: ProblemSpec, machine: Machine, nodes: int,
+               opts: RunOptions) -> float:
+        """Compute units available to the Hydra Sessions."""
+        if machine.device == "gpu":
+            return nodes * machine.gpus_per_node
+        cu_cores = opts.cus_total if opts.mode == "coupled" else 0
+        return max(1.0, nodes * machine.cores_per_node - cu_cores)
+
+    def _rate(self, machine: Machine) -> float:
+        """Seconds per mesh-node update per compute unit."""
+        return self.c.unit_seconds[machine.name]
+
+    # -- components -------------------------------------------------------
+    def compute_time(self, problem: ProblemSpec, machine: Machine,
+                     nodes: int, opts: RunOptions) -> float:
+        units = self._units(problem, machine, nodes, opts)
+        return self._rate(machine) * problem.mesh_nodes / units
+
+    def halo_time(self, problem: ProblemSpec, machine: Machine,
+                  nodes: int, opts: RunOptions) -> float:
+        c = self.c
+        units = self._units(problem, machine, nodes, opts)
+        surface = (problem.mesh_nodes / units) ** (2.0 / 3.0)
+        gpu = machine.device == "gpu"
+        bw = c.net_bw_gpu if gpu else c.net_bw_cpu
+        lat = c.net_lat_gpu if gpu else c.net_lat_cpu
+        byte_ratio = c.ph_byte_ratio if opts.partial_halos else 1.0
+        if opts.grouped_halos:
+            msg_ratio = c.gh_msg_ratio
+            pack = c.gh_cpu_pack if not gpu else 1.0
+        else:
+            msg_ratio = 1.0
+            pack = 1.0
+        t = bw * surface * byte_ratio * pack + lat * msg_ratio * math.log2(nodes + 1)
+        if gpu:
+            pcie = c.pcie * surface
+            if opts.grouped_halos:
+                pcie *= c.gh_msg_ratio
+            if opts.gpu_gather:
+                pcie *= c.gg_pcie_ratio
+            t += pcie
+        return t
+
+    def coupler_serve_time(self, problem: ProblemSpec, machine: Machine,
+                           nodes: int, opts: RunOptions,
+                           cus_total: int | None = None,
+                           search: str | None = None) -> float:
+        """Raw per-step CU time for one interface (they run concurrently).
+
+        ``cus_total`` CUs are spread over the problem's interfaces.
+        """
+        c = self.c
+        cus_total = cus_total if cus_total is not None else opts.cus_total
+        n_cu = max(1.0, cus_total / problem.interfaces)
+        search = search or opts.search
+        targets = 2.0 * problem.iface_nodes / n_cu     # both directions
+        window = max(2.0 * problem.iface_nodes / n_cu, 4.0)
+        if search == "bruteforce":
+            t_search = c.cmp_seconds * targets * window
+        elif search == "adt":
+            t_search = c.cmp_seconds * (
+                c.adt_build * window
+                + targets * (math.log2(window) + c.adt_leaf)
+            )
+        else:
+            raise ValueError(f"unknown search {search!r}")
+        t_interp = c.interp_seconds * targets
+        # per-CU communication: donor gathers from HS ranks plus result
+        # scatters — grows with the CU count (Table II's diminishing returns)
+        t_comm = c.cu_comm_seconds * n_cu
+        return t_search + t_interp + t_comm
+
+    def monolithic_slide_time(self, problem: ProblemSpec, machine: Machine,
+                              nodes: int) -> float:
+        """Trapped inline sliding-plane time of the monolithic baseline.
+
+        Interface work grows superlinearly with interface size
+        (``iface^mono_power``: search plus the serialization the paper
+        describes) and is shared only by the trapped ranks, whose
+        effective count grows sublinearly with the machine
+        (``units^trap_exponent``).
+        """
+        c = self.c
+        units = nodes * machine.compute_units
+        trapped = max(1.0, units ** c.trap_exponent)
+        return (c.mono_cmp_seconds * problem.iface_nodes ** c.mono_power
+                / trapped)
+
+    # -- feasibility -----------------------------------------------------
+    def min_nodes(self, problem: ProblemSpec, machine: Machine) -> int:
+        """Smallest node count whose device memory holds the problem.
+
+        The paper: "GPU global memory limits the size of the total mesh
+        that can be simulated … the 1-10_4.58B mesh requires a minimum
+        of 7800 GB (i.e. needing a minimum of 122 Cirrus-type nodes)".
+        CPU machines are treated as unconstrained (host memory is far
+        larger per node and the paper never hits it).
+        """
+        if machine.device != "gpu" or machine.gpu_memory_gb <= 0:
+            return 1
+        per_node = machine.gpus_per_node * machine.gpu_memory_gb
+        return max(1, int(-(-problem.memory_gb() // per_node)))
+
+    def fits(self, problem: ProblemSpec, machine: Machine, nodes: int) -> bool:
+        return nodes >= self.min_nodes(problem, machine)
+
+    # -- assembly --------------------------------------------------------
+    def breakdown(self, problem: ProblemSpec, machine: Machine, nodes: int,
+                  options: RunOptions | None = None) -> StepBreakdown:
+        opts = (options or RunOptions()).resolved(machine)
+        if not self.fits(problem, machine, nodes):
+            raise ValueError(
+                f"{problem.name} needs {problem.memory_gb():.0f} GB but "
+                f"{nodes}x {machine.name} holds only "
+                f"{nodes * machine.gpus_per_node * machine.gpu_memory_gb:.0f}"
+                f" GB (minimum {self.min_nodes(problem, machine)} nodes)"
+            )
+        comp = self.compute_time(problem, machine, nodes, opts)
+        halo = self.halo_time(problem, machine, nodes, opts)
+        c = self.c
+        if opts.mode == "coupled":
+            serve = self.coupler_serve_time(problem, machine, nodes, opts)
+            alpha = c.alpha_gpu if machine.device == "gpu" else c.alpha_cpu
+            wait = alpha * comp + c.beta * serve
+        elif opts.mode == "monolithic":
+            serve = self.monolithic_slide_time(problem, machine, nodes)
+            wait = c.alpha_cpu * comp + serve  # inline: no overlap at all
+        else:
+            raise ValueError(f"unknown mode {opts.mode!r}")
+        return StepBreakdown(compute=comp, halo=halo, wait=wait,
+                             coupler_serve=serve)
+
+    def time_per_step(self, problem: ProblemSpec, machine: Machine,
+                      nodes: int, options: RunOptions | None = None) -> float:
+        return self.breakdown(problem, machine, nodes, options).total
+
+    def hours_per_revolution(self, problem: ProblemSpec, machine: Machine,
+                             nodes: int, options: RunOptions | None = None
+                             ) -> float:
+        return (self.time_per_step(problem, machine, nodes, options)
+                * problem.steps_per_rev / 3600.0)
+
+    def parallel_efficiency(self, problem: ProblemSpec, machine: Machine,
+                            base_nodes: int, nodes: int,
+                            options: RunOptions | None = None) -> float:
+        """Efficiency of ``nodes`` relative to ``base_nodes``."""
+        t0 = self.time_per_step(problem, machine, base_nodes, options)
+        t1 = self.time_per_step(problem, machine, nodes, options)
+        return (t0 * base_nodes) / (t1 * nodes)
+
+    def speedup(self, problem: ProblemSpec, m_a: Machine, n_a: int,
+                m_b: Machine, n_b: int,
+                options: RunOptions | None = None) -> float:
+        """time(m_b, n_b) / time(m_a, n_a) — how much faster a is than b."""
+        return (self.time_per_step(problem, m_b, n_b, options)
+                / self.time_per_step(problem, m_a, n_a, options))

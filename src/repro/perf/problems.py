@@ -1,0 +1,67 @@
+"""Paper problem sizes (§IV-A1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One of the paper's Rig250 mesh variants.
+
+    ``iface_nodes`` is the node count of one sliding-plane interface
+    grid (one side). For a structured annulus row of ``n`` nodes with
+    ``nx`` axial stations it is ``n / nx``; the paper's rows are long
+    and thin, so we take nx ≈ 40 at the 430M scale and scale the
+    interface with the mesh's surface dimension (N_row^(2/3) growth:
+    the 4.58B mesh refines all three directions ≈ 10^(1/3) each).
+    """
+
+    name: str
+    mesh_nodes: float
+    rows: int
+    interfaces: int
+    iface_nodes: float
+    #: outer time steps for one shaft revolution
+    steps_per_rev: int = 2000
+    rpm: float = 11_000.0
+    #: working-set bytes per mesh node (the paper: 4.58B nodes need a
+    #: minimum of 7800 GB of GPU memory -> ~1700 B/node)
+    bytes_per_node: float = 7800e9 / 4.58e9
+
+    def memory_gb(self) -> float:
+        """Total working set in GB."""
+        return self.mesh_nodes * self.bytes_per_node / 1e9
+
+    @property
+    def nodes_per_row(self) -> float:
+        return self.mesh_nodes / self.rows
+
+
+def _iface(mesh_nodes: float, rows: int, nx_axial: float) -> float:
+    return mesh_nodes / rows / nx_axial
+
+
+#: 1-10_430M: swan neck + 9 rows, coarse grid, 13000 rpm
+P430M = ProblemSpec(
+    name="1-10_430M", mesh_nodes=430e6, rows=10, interfaces=9,
+    iface_nodes=_iface(430e6, 10, 40.0), rpm=13_000.0,
+)
+
+#: 1-2_653M: first two rows of the fine grid. Its working set is a
+#: touch leaner per node than the full machine's (fewer interface
+#: extrusions per row); the paper ran it on 17 Cirrus nodes — exactly
+#: its memory floor with this figure.
+P653M = ProblemSpec(
+    name="1-2_653M", mesh_nodes=653e6, rows=2, interfaces=1,
+    iface_nodes=_iface(653e6, 2, 40.0 * 10 ** (1 / 3)),
+    bytes_per_node=1660.0,
+)
+
+#: 1-10_4.58B: the grand-challenge full compressor
+P458B = ProblemSpec(
+    name="1-10_4.58B", mesh_nodes=4.58e9, rows=10, interfaces=9,
+    iface_nodes=_iface(4.58e9, 10, 40.0 * 10 ** (1 / 3)),
+)
+
+PROBLEMS = {p.name: p for p in (P430M, P653M, P458B)}

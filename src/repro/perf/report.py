@@ -1,0 +1,117 @@
+"""Verification report: every paper claim checked against the model.
+
+``build_report()`` evaluates the reproduction contract — the anchors
+and shape constraints of Tables II-IV and Figures 7-9 — and returns a
+pass/fail table, so `python -m repro.cli report` gives the one-page
+answer to "does this repository reproduce the paper?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.calibrate import CALIBRATION
+from repro.perf.machine import ARCHER1, ARCHER2, CIRRUS, HASWELL_PROD
+from repro.perf.model import PerfModel, RunOptions
+from repro.perf.problems import P430M, P458B, P653M
+from repro.perf.scaling import node_to_node_speedup, power_equivalent_speedup
+
+
+@dataclass
+class Claim:
+    """One verifiable paper claim."""
+
+    source: str        #: paper location
+    statement: str
+    value: float
+    band: tuple[float, float]
+
+    @property
+    def passed(self) -> bool:
+        return self.band[0] <= self.value <= self.band[1]
+
+    def row(self) -> list:
+        lo, hi = self.band
+        return [self.source, self.statement, round(self.value, 3),
+                f"[{lo:g}, {hi:g}]", "PASS" if self.passed else "FAIL"]
+
+
+def build_report(model: PerfModel | None = None) -> list[Claim]:
+    """Evaluate every headline claim; returns the claim list."""
+    m = model or PerfModel(CALIBRATION)
+    mono = RunOptions(mode="monolithic")
+    claims = [
+        Claim("Table IV", "4.58B, 512 ARCHER2 nodes: hours/revolution",
+              m.hours_per_revolution(P458B, ARCHER2, 512), (5.0, 6.0)),
+        Claim("Table IV", "4.58B, 166 nodes: hours/revolution",
+              m.hours_per_revolution(P458B, ARCHER2, 166), (13.0, 16.0)),
+        Claim("Table IV", "4.58B, 256 nodes: hours/revolution",
+              m.hours_per_revolution(P458B, ARCHER2, 256), (8.5, 10.5)),
+        Claim("Fig 9", "4.58B efficiency 107->512 nodes",
+              m.parallel_efficiency(P458B, ARCHER2, 107, 512), (0.72, 0.92)),
+        Claim("Fig 7", "430M efficiency 10->82 nodes",
+              m.parallel_efficiency(P430M, ARCHER2, 10, 82), (0.75, 1.0)),
+        Claim("Fig 8", "653M efficiency 15->80 nodes",
+              m.parallel_efficiency(P653M, ARCHER2, 15, 80), (0.80, 1.0)),
+        Claim("IV-B4", "Cirrus 653M @17 nodes: s/step",
+              m.time_per_step(P653M, CIRRUS, 17), (6.4, 7.8)),
+        Claim("IV-B4", "4.58B Cirrus projection @122 nodes: s/step",
+              m.time_per_step(P458B, CIRRUS, 122), (7.0, 9.0)),
+        Claim("IV-B1", "Cirrus power-equivalent speedup (430M)",
+              power_equivalent_speedup(m, P430M, 20), (3.3, 4.4)),
+        Claim("IV-B3", "Cirrus power-equivalent speedup (653M)",
+              power_equivalent_speedup(m, P653M, 20), (3.0, 4.0)),
+        Claim("IV-B1", "Cirrus node-to-node speedup (430M)",
+              node_to_node_speedup(m, P430M, 20), (4.2, 6.0)),
+        Claim("IV-B3", "Cirrus node-to-node speedup (653M)",
+              node_to_node_speedup(m, P653M, 20), (4.0, 5.5)),
+        Claim("IV-A4", "Cirrus/ARCHER2 node power ratio",
+              CIRRUS.node_power_w / ARCHER2.node_power_w, (1.30, 1.42)),
+        Claim("IV-A3", "minimum Cirrus nodes holding 4.58B",
+              float(m.min_nodes(P458B, CIRRUS)), (122, 122)),
+        Claim("IV-B5", "Haswell production monolithic: s/step",
+              m.time_per_step(P458B, HASWELL_PROD, 8000 // 24, mono),
+              (1700, 2300)),
+        Claim("IV-B5", "ARCHER1 monolithic: days/revolution",
+              m.hours_per_revolution(P458B, ARCHER1, 100_000 // 24,
+                                     mono) / 24, (8.0, 10.0)),
+        Claim("Abstract", "speedup vs production (x, 'order of magnitude')",
+              m.hours_per_revolution(P458B, ARCHER1, 100_000 // 24, mono)
+              / m.hours_per_revolution(P458B, ARCHER2, 512), (20, 60)),
+        Claim("Table III", "PH gain on ARCHER2 430M @10 nodes (%)",
+              100 * (1 - m.time_per_step(P430M, ARCHER2, 10)
+                     / m.time_per_step(P430M, ARCHER2, 10,
+                                       RunOptions(partial_halos=False))),
+              (2, 10)),
+        Claim("Table III", "GG+GH+PH reduction on Cirrus 430M @15 (%)",
+              100 * (1 - m.time_per_step(P430M, CIRRUS, 15)
+                     / m.time_per_step(
+                         P430M, CIRRUS, 15,
+                         RunOptions(partial_halos=False,
+                                    grouped_halos=False,
+                                    gpu_gather=False))),
+              (55, 75)),
+        Claim("Table II", "ADT vs BF serve speedup @30 CUs (x)",
+              m.coupler_serve_time(P430M, ARCHER2, 27,
+                                   RunOptions().resolved(ARCHER2),
+                                   search="bruteforce")
+              / m.coupler_serve_time(P430M, ARCHER2, 27,
+                                     RunOptions().resolved(ARCHER2),
+                                     search="adt"),
+              (1.35, 1e6)),
+    ]
+    return claims
+
+
+def render_report(claims: list[Claim] | None = None) -> str:
+    from repro.util.tables import format_table
+
+    claims = claims if claims is not None else build_report()
+    text = format_table(
+        ["paper", "claim", "model", "accepted band", "verdict"],
+        [c.row() for c in claims],
+        title="Reproduction verification — paper claims vs calibrated model",
+    )
+    n_pass = sum(c.passed for c in claims)
+    text += f"\n\n{n_pass}/{len(claims)} claims reproduced."
+    return text

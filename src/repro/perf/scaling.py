@@ -1,0 +1,117 @@
+"""Scaling-figure regeneration (paper Figures 7, 8, 9).
+
+Each figure is a set of series: time-per-step vs node count on ARCHER2
+and (power-equivalent) Cirrus, with parallel efficiency and coupler
+wait fraction annotations. The node counts follow the paper's setup:
+Cirrus counts are ARCHER2 counts divided by the 1.36 power ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.machine import ARCHER2, CIRRUS, Machine, power_equivalent_nodes
+from repro.perf.model import PerfModel, RunOptions
+from repro.perf.problems import P430M, P458B, P653M, ProblemSpec
+
+
+@dataclass
+class ScalingPoint:
+    nodes: int
+    seconds_per_step: float
+    efficiency: float          #: relative to the series' first point
+    wait_fraction: float
+
+
+@dataclass
+class ScalingSeries:
+    machine: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+
+@dataclass
+class ScalingFigure:
+    caption: str
+    problem: str
+    series: list[ScalingSeries] = field(default_factory=list)
+
+    def by_machine(self, name: str) -> ScalingSeries:
+        for s in self.series:
+            if s.machine == name:
+                return s
+        raise KeyError(name)
+
+
+def _series(model: PerfModel, problem: ProblemSpec, machine: Machine,
+            node_counts: list[int],
+            options: RunOptions | None = None) -> ScalingSeries:
+    series = ScalingSeries(machine=machine.name)
+    t0 = model.time_per_step(problem, machine, node_counts[0], options)
+    for n in node_counts:
+        t = model.time_per_step(problem, machine, n, options)
+        bd = model.breakdown(problem, machine, n, options)
+        eff = (t0 * node_counts[0]) / (t * n)
+        series.points.append(ScalingPoint(
+            nodes=n, seconds_per_step=t, efficiency=eff,
+            wait_fraction=bd.wait_fraction))
+    return series
+
+
+def figure7_430m(model: PerfModel | None = None) -> ScalingFigure:
+    """Fig 7: 1-10_430M scaling, ARCHER2 10-82 nodes + Cirrus 15-25."""
+    model = model or PerfModel()
+    fig = ScalingFigure(
+        caption="Fig 7 — 1-10_430M runtime/time-step vs nodes",
+        problem=P430M.name,
+    )
+    fig.series.append(_series(model, P430M, ARCHER2, [10, 20, 27, 34, 82]))
+    fig.series.append(_series(model, P430M, CIRRUS, [15, 20, 25]))
+    return fig
+
+
+def figure8_653m(model: PerfModel | None = None) -> ScalingFigure:
+    """Fig 8: 1-2_653M scaling, ARCHER2 15-80 nodes + Cirrus 17-29."""
+    model = model or PerfModel()
+    fig = ScalingFigure(
+        caption="Fig 8 — 1-2_653M runtime/time-step vs nodes",
+        problem=P653M.name,
+    )
+    fig.series.append(_series(model, P653M, ARCHER2, [15, 23, 40, 80]))
+    fig.series.append(_series(model, P653M, CIRRUS, [17, 23, 29]))
+    return fig
+
+
+def figure9_458b(model: PerfModel | None = None) -> ScalingFigure:
+    """Fig 9: 1-10_4.58B scaling, ARCHER2 107-512 nodes."""
+    model = model or PerfModel()
+    fig = ScalingFigure(
+        caption="Fig 9 — 1-10_4.58B runtime/time-step vs nodes",
+        problem=P458B.name,
+    )
+    fig.series.append(_series(model, P458B, ARCHER2, [107, 166, 256, 362,
+                                                      512]))
+    return fig
+
+
+def to_csv(fig: ScalingFigure) -> str:
+    """The figure's series as CSV text (machine, nodes, s/step, eff, wait)."""
+    lines = ["machine,nodes,seconds_per_step,efficiency,wait_fraction"]
+    for series in fig.series:
+        for p in series.points:
+            lines.append(f"{series.machine},{p.nodes},"
+                         f"{p.seconds_per_step:.6g},{p.efficiency:.6g},"
+                         f"{p.wait_fraction:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+def power_equivalent_speedup(model: PerfModel, problem: ProblemSpec,
+                             cirrus_nodes: int) -> float:
+    """Cirrus speedup over the power-equivalent ARCHER2 node count."""
+    a2_nodes = power_equivalent_nodes(cirrus_nodes, CIRRUS, ARCHER2)
+    return model.speedup(problem, CIRRUS, cirrus_nodes, ARCHER2, a2_nodes)
+
+
+def node_to_node_speedup(model: PerfModel, problem: ProblemSpec,
+                         nodes: int) -> float:
+    """Cirrus speedup over the same ARCHER2 node count."""
+    return model.speedup(problem, CIRRUS, nodes, ARCHER2, nodes)

@@ -1,0 +1,89 @@
+"""Workload characterization: measured traces from real mini runs.
+
+The performance model's functional forms are mechanistic; its sanity
+comes from the *measured* behaviour of the real implementation at mini
+scale. This module distills a finished coupled run into the per-step
+workload quantities the model reasons about — compute vs coupler-wait
+split, halo traffic per step, donor-search effort per target — so
+benchmarks can print measured-vs-modelled side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coupler.driver import CoupledResult
+from repro.mesh.rig250 import Rig250Config
+
+
+@dataclass
+class WorkloadTrace:
+    """Per-step workload quantities measured from a coupled run."""
+
+    steps: int
+    mesh_nodes: int
+    interfaces: int
+    seconds_per_step: float
+    wait_fraction: float
+    halo_messages_per_step: float
+    halo_bytes_per_step: float
+    coupler_messages_per_step: float
+    coupler_bytes_per_step: float
+    queries_per_step: float
+    comparisons_per_query: float
+    search_misses: int
+
+    def rows(self) -> list[list]:
+        return [
+            ["outer steps", self.steps],
+            ["mesh nodes", self.mesh_nodes],
+            ["interfaces", self.interfaces],
+            ["wall seconds / step", self.seconds_per_step],
+            ["coupler wait fraction", self.wait_fraction],
+            ["halo messages / step", self.halo_messages_per_step],
+            ["halo bytes / step", self.halo_bytes_per_step],
+            ["coupler messages / step", self.coupler_messages_per_step],
+            ["coupler bytes / step", self.coupler_bytes_per_step],
+            ["donor queries / step", self.queries_per_step],
+            ["comparisons / query", self.comparisons_per_query],
+            ["search misses", self.search_misses],
+        ]
+
+
+def characterize(result: CoupledResult, rig: Rig250Config) -> WorkloadTrace:
+    """Distill a finished coupled run into a :class:`WorkloadTrace`."""
+    steps = max(result.nsteps, 1)
+    rounds = steps + 1  # includes the t=0 coupling
+
+    # wall time: the slowest row's stepping plus its coupler wait
+    step_seconds = max(
+        (row["timers"].get("physical_step", 0.0)
+         + row["timers"].get("coupler_wait", 0.0))
+        for row in result.rows
+    ) / steps
+
+    halo_msgs = halo_bytes = 0
+    cpl_msgs = cpl_bytes = 0
+    for phase, counts in result.traffic.by_phase().items():
+        if phase.startswith("halo"):
+            halo_msgs += counts["messages"]
+            halo_bytes += counts["nbytes"]
+        elif phase.startswith("coupler"):
+            cpl_msgs += counts["messages"]
+            cpl_bytes += counts["nbytes"]
+
+    stats = result.total_search_stats()
+    return WorkloadTrace(
+        steps=result.nsteps,
+        mesh_nodes=rig.total_nodes,
+        interfaces=rig.n_interfaces,
+        seconds_per_step=step_seconds,
+        wait_fraction=result.coupler_wait_fraction(),
+        halo_messages_per_step=halo_msgs / steps,
+        halo_bytes_per_step=halo_bytes / steps,
+        coupler_messages_per_step=cpl_msgs / rounds,
+        coupler_bytes_per_step=cpl_bytes / rounds,
+        queries_per_step=stats.queries / rounds,
+        comparisons_per_query=stats.comparisons / max(stats.queries, 1),
+        search_misses=stats.misses,
+    )

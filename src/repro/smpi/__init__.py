@@ -1,0 +1,37 @@
+"""Simulated MPI: in-process message passing between cooperating ranks.
+
+The paper's runs use real MPI on up to 65k cores of ARCHER2. Here,
+ranks are Python threads inside one process, exchanging numpy buffers
+through mailboxes with genuine blocking semantics (a misordered
+send/recv deadlocks, caught by a watchdog, exactly as it would hang on
+a cluster). The layer provides communicators, ``split`` for the
+HS/CU sub-communicator layout of the coupled solver, point-to-point
+and collective operations, and *traffic accounting* — per-phase
+message and byte counts that drive the communication-optimization
+study (Table III of the paper).
+"""
+
+from repro.smpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Request,
+    SimAbort,
+    SimComm,
+    SimMPIError,
+    run_ranks,
+    waitall,
+)
+from repro.smpi.traffic import Traffic, TrafficRecord
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Request",
+    "SimAbort",
+    "SimComm",
+    "SimMPIError",
+    "run_ranks",
+    "waitall",
+    "Traffic",
+    "TrafficRecord",
+]

@@ -1,0 +1,443 @@
+"""Simulated MPI communicators over Python threads.
+
+Each rank runs its target function on its own thread; ranks of a
+communicator share mailboxes (point-to-point) and a collective context
+(barrier + data slots). Blocking semantics are real — a ``recv`` with
+no matching ``send`` blocks until the watchdog timeout trips and the
+whole run is aborted with :class:`SimMPIError`, mirroring a hung MPI
+job.
+
+Design notes
+------------
+* Payloads that are numpy arrays are **copied on send** (value
+  semantics, like a real network) so a sender mutating its buffer
+  after ``send`` cannot corrupt the receiver — the classic MPI buffer
+  contract.
+* Collectives use a ``threading.Barrier`` plus shared slots; the rank
+  that draws barrier index 0 performs the reduction. Sub-communicators
+  from :meth:`SimComm.split` get fresh mailboxes/barriers, so HS and
+  CU groups of the coupled solver cannot interfere.
+* All traffic is recorded in a world-level :class:`~repro.smpi.traffic.Traffic`
+  ledger keyed by *world* ranks, whatever communicator carried it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.smpi.traffic import Traffic, payload_nbytes
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default seconds a blocking operation may wait before the run is
+#: declared deadlocked. Generous because CI machines stall.
+DEFAULT_TIMEOUT = 120.0
+
+
+class SimMPIError(RuntimeError):
+    """A simulated-MPI failure: deadlock timeout or protocol misuse."""
+
+
+class SimAbort(RuntimeError):
+    """Raised inside ranks when another rank has failed and the run aborts."""
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Copy-on-send for mutable buffers (numpy value semantics)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(o) for o in obj)
+    if isinstance(obj, list):
+        return [_copy_payload(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass
+class _Message:
+    src: int
+    tag: int
+    payload: Any
+    seq: int
+
+
+class _Mailbox:
+    """Incoming-message queue for one rank of one communicator."""
+
+    def __init__(self, abort: threading.Event) -> None:
+        self._cond = threading.Condition()
+        self._messages: list[_Message] = []
+        self._abort = abort
+        self._seq = 0
+
+    def put(self, src: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._messages.append(_Message(src, tag, payload, self._seq))
+            self._seq += 1
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, timeout: float) -> _Message:
+        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        with self._cond:
+            waited = 0.0
+            while True:
+                if self._abort.is_set():
+                    raise SimAbort("run aborted by another rank")
+                for i, msg in enumerate(self._messages):
+                    if source not in (ANY_SOURCE, msg.src):
+                        continue
+                    if tag not in (ANY_TAG, msg.tag):
+                        continue
+                    return self._messages.pop(i)
+                remaining = deadline - waited
+                if remaining <= 0:
+                    raise SimMPIError(
+                        f"recv(source={source}, tag={tag}) timed out after "
+                        f"{deadline:.1f}s — deadlock?"
+                    )
+                step = min(0.05, remaining)
+                self._cond.wait(step)
+                waited += step
+
+    def probe(self, source: int, tag: int) -> bool:
+        with self._cond:
+            for msg in self._messages:
+                if source not in (ANY_SOURCE, msg.src):
+                    continue
+                if tag not in (ANY_TAG, msg.tag):
+                    continue
+                return True
+            return False
+
+
+class _Collective:
+    """Barrier + data slots shared by the ranks of one communicator."""
+
+    def __init__(self, size: int) -> None:
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+        self.result: Any = None
+
+
+@dataclass
+class Request:
+    """Handle for a nonblocking operation.
+
+    Sends complete immediately (buffered); receives resolve on
+    :meth:`wait`.
+    """
+
+    _resolve: Callable[[], Any] | None = None
+    _value: Any = None
+    _done: bool = field(default=False)
+
+    def wait(self) -> Any:
+        if not self._done:
+            assert self._resolve is not None
+            self._value = self._resolve()
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        return self._done
+
+
+class _CommState:
+    """Shared state behind every rank-view of one communicator."""
+
+    def __init__(self, size: int, world_ranks: Sequence[int],
+                 traffic: Traffic, abort: threading.Event,
+                 timeout: float) -> None:
+        self.size = size
+        self.world_ranks = list(world_ranks)
+        self.traffic = traffic
+        self.abort = abort
+        self.timeout = timeout
+        self.mailboxes = [_Mailbox(abort) for _ in range(size)]
+        self.collective = _Collective(size)
+        self._split_lock = threading.Lock()
+        self._split_results: dict[int, dict[int, "_CommState"]] = {}
+        self._split_gen = 0
+
+
+class SimComm:
+    """One rank's view of a simulated-MPI communicator."""
+
+    def __init__(self, state: _CommState, rank: int) -> None:
+        self._state = state
+        self.rank = rank
+
+    # -- introspection -------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    @property
+    def traffic(self) -> Traffic:
+        return self._state.traffic
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's id in the world communicator."""
+        return self._state.world_ranks[self.rank]
+
+    def set_phase(self, phase: str) -> None:
+        """Label subsequent sends from this rank for traffic accounting."""
+        self._state.traffic.set_phase(self.world_rank, phase)
+
+    # -- point to point --------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered blocking send (copies numpy payloads)."""
+        if not 0 <= dest < self.size:
+            raise SimMPIError(f"send dest {dest} out of range [0, {self.size})")
+        payload = _copy_payload(obj)
+        self._state.traffic.record(
+            self.world_rank, self._state.world_ranks[dest], payload_nbytes(obj)
+        )
+        self._state.mailboxes[dest].put(self.rank, tag, payload)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        msg = self._state.mailboxes[self.rank].get(source, tag, self._state.timeout)
+        return msg.payload
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+                    ) -> tuple[Any, int, int]:
+        """Blocking receive returning ``(payload, source, tag)``."""
+        msg = self._state.mailboxes[self.rank].get(source, tag, self._state.timeout)
+        return msg.payload, msg.src, msg.tag
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return Request(_done=True)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return Request(_resolve=lambda: self.recv(source, tag))
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Nonblocking check for a matching pending message."""
+        return self._state.mailboxes[self.rank].probe(source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        """Combined send+receive (safe against head-on exchanges)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives -------------------------------------------------------
+    def _barrier_wait(self) -> int:
+        try:
+            return self._state.collective.barrier.wait(self._state.timeout)
+        except threading.BrokenBarrierError as exc:
+            if self._state.abort.is_set():
+                raise SimAbort("run aborted by another rank") from exc
+            raise SimMPIError("barrier timed out — deadlock?") from exc
+
+    def barrier(self) -> None:
+        self._barrier_wait()
+        self._barrier_wait()  # second phase so reuse cannot overtake
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        coll = self._state.collective
+        if self.rank == root:
+            coll.result = _copy_payload(obj)
+        self._barrier_wait()
+        value = _copy_payload(coll.result)
+        self._barrier_wait()
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        coll = self._state.collective
+        coll.slots[self.rank] = _copy_payload(obj)
+        self._barrier_wait()
+        result = list(coll.slots) if self.rank == root else None
+        self._barrier_wait()
+        return result
+
+    def allgather(self, obj: Any) -> list[Any]:
+        coll = self._state.collective
+        coll.slots[self.rank] = _copy_payload(obj)
+        self._barrier_wait()
+        result = [_copy_payload(s) for s in coll.slots]
+        self._barrier_wait()
+        return result
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        coll = self._state.collective
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise SimMPIError(
+                    f"scatter root must supply {self.size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            coll.result = [_copy_payload(o) for o in objs]
+        self._barrier_wait()
+        value = _copy_payload(coll.result[self.rank])
+        self._barrier_wait()
+        return value
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] | str = "sum",
+               root: int = 0) -> Any | None:
+        result = self.allreduce(obj, op)
+        return result if self.rank == root else None
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | str = "sum") -> Any:
+        fn = _REDUCE_OPS.get(op, op) if isinstance(op, str) else op
+        if isinstance(op, str) and op not in _REDUCE_OPS:
+            raise SimMPIError(f"unknown reduce op {op!r}; use one of {sorted(_REDUCE_OPS)}")
+        coll = self._state.collective
+        coll.slots[self.rank] = _copy_payload(obj)
+        idx = self._barrier_wait()
+        if idx == 0:
+            acc = coll.slots[0]
+            for other in coll.slots[1:]:
+                acc = fn(acc, other)
+            coll.result = acc
+        self._barrier_wait()
+        value = _copy_payload(coll.result)
+        self._barrier_wait()
+        return value
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        if len(objs) != self.size:
+            raise SimMPIError(f"alltoall needs {self.size} items, got {len(objs)}")
+        coll = self._state.collective
+        coll.slots[self.rank] = [_copy_payload(o) for o in objs]
+        self._barrier_wait()
+        result = [_copy_payload(coll.slots[src][self.rank]) for src in range(self.size)]
+        self._barrier_wait()
+        return result
+
+    # -- communicator management ---------------------------------------
+    def split(self, color: int, key: int | None = None) -> "SimComm | None":
+        """Partition the communicator by ``color``; order ranks by ``key``.
+
+        A negative ``color`` opts the rank out (returns ``None``), like
+        ``MPI_UNDEFINED``. All ranks of this communicator must call.
+        """
+        state = self._state
+        key = self.rank if key is None else key
+        pairs = self.allgather((color, key, self.rank))
+        idx = self._barrier_wait()
+        with state._split_lock:
+            if idx == 0:
+                state._split_gen += 1
+                gen = state._split_gen
+                groups: dict[int, list[tuple[int, int]]] = {}
+                for c, k, r in pairs:
+                    if c >= 0:
+                        groups.setdefault(c, []).append((k, r))
+                built: dict[int, _CommState] = {}
+                rank_map: dict[int, tuple[int, int]] = {}
+                for c, members in groups.items():
+                    members.sort()
+                    ranks = [r for _k, r in members]
+                    sub = _CommState(
+                        size=len(ranks),
+                        world_ranks=[state.world_ranks[r] for r in ranks],
+                        traffic=state.traffic,
+                        abort=state.abort,
+                        timeout=state.timeout,
+                    )
+                    built[c] = sub
+                    for newrank, r in enumerate(ranks):
+                        rank_map[r] = (c, newrank)
+                state._split_results[gen] = {"comms": built, "ranks": rank_map}  # type: ignore[assignment]
+        self._barrier_wait()
+        with state._split_lock:
+            gen = state._split_gen
+            entry = state._split_results[gen]
+        self._barrier_wait()
+        if color < 0:
+            return None
+        _c, newrank = entry["ranks"][self.rank]  # type: ignore[index]
+        return SimComm(entry["comms"][color], newrank)  # type: ignore[index]
+
+
+def waitall(requests: list[Request]) -> list[Any]:
+    """Wait on every request; returns their values in order."""
+    return [req.wait() for req in requests]
+
+
+def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
+              timeout: float = DEFAULT_TIMEOUT,
+              traffic: Traffic | None = None) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``nranks`` cooperating threads.
+
+    Returns each rank's return value, ordered by rank. If any rank
+    raises, the whole run is aborted (barriers broken, mailbox waits
+    poisoned) and the first failure is re-raised.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    traffic = traffic if traffic is not None else Traffic()
+    abort = threading.Event()
+    state = _CommState(nranks, list(range(nranks)), traffic, abort, timeout)
+    results: list[Any] = [None] * nranks
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = SimComm(state, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except SimAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            with failures_lock:
+                failures.append((rank, exc))
+            abort.set()
+            state.collective.barrier.abort()
+            with state._split_lock:
+                for entry in state._split_results.values():
+                    for sub in entry["comms"].values():  # type: ignore[union-attr]
+                        sub.collective.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"smpi-rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout * 2)
+        if t.is_alive():
+            abort.set()
+            state.collective.barrier.abort()
+            raise SimMPIError(f"rank thread {t.name} failed to terminate")
+    if failures:
+        failures.sort()
+        rank, exc = failures[0]
+        raise exc
+    return results
+
+
+def _sum(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _min(a: Any, b: Any) -> Any:
+    return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+
+
+def _max(a: Any, b: Any) -> Any:
+    return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+
+
+def _prod(a: Any, b: Any) -> Any:
+    return a * b
+
+
+_REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": _sum,
+    "min": _min,
+    "max": _max,
+    "prod": _prod,
+}

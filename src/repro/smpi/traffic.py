@@ -1,0 +1,125 @@
+"""Message-traffic accounting for simulated MPI runs.
+
+The communication-avoidance study (partial halo exchanges, grouped
+halo messages, GPU-side gather — Table III of the paper) is about
+*how many* messages of *what size* cross the network and the PCIe bus.
+The :class:`Traffic` ledger records every point-to-point message with
+its byte count and the phase label active on the sending rank, so a
+benchmark can compare optimization variants by traffic rather than by
+wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def payload_nbytes(obj: object) -> int:
+    """Best-effort wire size of a message payload in bytes.
+
+    numpy arrays report their buffer size exactly; tuples/lists of
+    arrays sum their parts plus a small per-item header; everything
+    else falls back to its pickle length (our coupler protocol sends
+    small tuples, so the fallback is rarely hot).
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(item) + 8 for item in obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, bool)) or obj is None:
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) + 8 for k, v in obj.items())
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """Aggregated traffic for one (phase, src, dst) edge."""
+
+    phase: str
+    src: int
+    dst: int
+    messages: int
+    nbytes: int
+
+
+class Traffic:
+    """Thread-safe ledger of point-to-point message traffic.
+
+    Counts are keyed by ``(phase, src, dst)``. The *phase* is a free
+    label (e.g. ``"halo"``, ``"halo.partial"``, ``"coupler.gather"``)
+    set per rank via :meth:`set_phase`; it travels with each recorded
+    send so benchmarks can attribute traffic to solver stages.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._messages: dict[tuple[str, int, int], int] = defaultdict(int)
+        self._nbytes: dict[tuple[str, int, int], int] = defaultdict(int)
+        self._phase: dict[int, str] = {}
+
+    def set_phase(self, rank: int, phase: str) -> None:
+        with self._lock:
+            self._phase[rank] = phase
+
+    def phase_of(self, rank: int) -> str:
+        with self._lock:
+            return self._phase.get(rank, "default")
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        with self._lock:
+            phase = self._phase.get(src, "default")
+            key = (phase, src, dst)
+            self._messages[key] += 1
+            self._nbytes[key] += nbytes
+
+    def records(self) -> list[TrafficRecord]:
+        with self._lock:
+            return [
+                TrafficRecord(phase=k[0], src=k[1], dst=k[2],
+                              messages=self._messages[k], nbytes=self._nbytes[k])
+                for k in sorted(self._messages)
+            ]
+
+    def total_messages(self, phase: str | None = None) -> int:
+        with self._lock:
+            return sum(
+                n for k, n in self._messages.items()
+                if phase is None or k[0] == phase
+            )
+
+    def total_nbytes(self, phase: str | None = None) -> int:
+        with self._lock:
+            return sum(
+                n for k, n in self._nbytes.items()
+                if phase is None or k[0] == phase
+            )
+
+    def by_phase(self) -> dict[str, dict[str, int]]:
+        """Aggregate to ``{phase: {"messages": m, "nbytes": b}}``."""
+        out: dict[str, dict[str, int]] = {}
+        with self._lock:
+            for (phase, _src, _dst), m in self._messages.items():
+                slot = out.setdefault(phase, {"messages": 0, "nbytes": 0})
+                slot["messages"] += m
+            for (phase, _src, _dst), b in self._nbytes.items():
+                out[phase]["nbytes"] += b
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._messages.clear()
+            self._nbytes.clear()

@@ -1,0 +1,17 @@
+"""Shared utilities: timing, deterministic RNG, tables, validation."""
+
+from repro.util.ascii_plot import render_field, render_series
+from repro.util.timing import Timer, TimerRegistry
+from repro.util.tables import format_table
+from repro.util.validation import check_index_array, check_positive, check_shape
+
+__all__ = [
+    "render_field",
+    "render_series",
+    "Timer",
+    "TimerRegistry",
+    "format_table",
+    "check_index_array",
+    "check_positive",
+    "check_shape",
+]

@@ -1,0 +1,87 @@
+"""ASCII rendering of 2-D scalar fields (Fig. 10-style contour plots).
+
+The paper's Fig. 10 shows flow contours on a cylindrical mid-radius
+cut (axial x circumferential). In a terminal-only environment we
+render the same cut as a character-ramp raster, good enough to *see*
+the pressure rising through the stages and the wakes slanting across
+the sliding interfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: darkness ramp, light to dark
+RAMP = " .:-=+*#%@"
+
+
+def render_field(field: np.ndarray, width: int = 100, height: int = 24,
+                 vmin: float | None = None, vmax: float | None = None,
+                 title: str = "", xlabel: str = "",
+                 column_marks: list[int] | None = None) -> str:
+    """Render ``field`` (ny, nx) as an ASCII raster.
+
+    The field is resampled (nearest) to the requested terminal size;
+    ``column_marks`` draws ``|`` gutters at the given x columns of the
+    *field* (e.g. sliding-interface positions). Returns the full text
+    block including a value legend.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise ValueError(f"field must be 2-D, got shape {field.shape}")
+    ny, nx = field.shape
+    lo = float(np.nanmin(field)) if vmin is None else vmin
+    hi = float(np.nanmax(field)) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+
+    rows_idx = np.minimum((np.arange(height) * ny) // height, ny - 1)
+    cols_idx = np.minimum((np.arange(width) * nx) // width, nx - 1)
+    sampled = field[np.ix_(rows_idx, cols_idx)]
+    levels = np.clip(((sampled - lo) / span) * (len(RAMP) - 1), 0,
+                     len(RAMP) - 1).astype(int)
+
+    mark_cols = set()
+    if column_marks:
+        for m in column_marks:
+            mark_cols.add(int(np.searchsorted(cols_idx, m)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        chars = []
+        for c in range(width):
+            if c in mark_cols:
+                chars.append("|")
+            else:
+                chars.append(RAMP[levels[r, c]])
+        lines.append("".join(chars))
+    if xlabel:
+        lines.append(xlabel)
+    lines.append(f"legend: '{RAMP[0]}'={lo:.4g}  ..  '{RAMP[-1]}'={hi:.4g}")
+    return "\n".join(lines)
+
+
+def render_series(x: np.ndarray, y: np.ndarray, width: int = 72,
+                  height: int = 16, title: str = "") -> str:
+    """Plot y(x) as an ASCII scatter/line (for pressure profiles)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D arrays")
+    if x.size == 0:
+        return title + "\n(empty series)"
+    grid = [[" "] * width for _ in range(height)]
+    xspan = x.max() - x.min() or 1.0
+    yspan = y.max() - y.min() or 1.0
+    for xi, yi in zip(x, y):
+        c = int((xi - x.min()) / xspan * (width - 1))
+        r = height - 1 - int((yi - y.min()) / yspan * (height - 1))
+        grid[r][c] = "o"
+    lines = [title] if title else []
+    lines.append(f"{y.max():10.4g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y.min():10.4g} +" + "-" * width)
+    lines.append(" " * 12 + f"x: {x.min():.4g} .. {x.max():.4g}")
+    return "\n".join(lines)

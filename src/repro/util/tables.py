@@ -1,0 +1,49 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark harness prints the rows/series the paper reports; this
+module renders them in a fixed-width layout so the output diffs cleanly
+between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt_cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are formatted with ``floatfmt``; all other values via
+    ``str``. Raises ``ValueError`` on ragged rows so a benchmark that
+    dropped a column fails loudly rather than printing garbage.
+    """
+    ncol = len(headers)
+    cells: list[list[str]] = [[str(h) for h in headers]]
+    for i, row in enumerate(rows):
+        if len(row) != ncol:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncol}: {row!r}"
+            )
+        cells.append([_fmt_cell(v, floatfmt) for v in row])
+
+    widths = [max(len(r[c]) for r in cells) for c in range(ncol)]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

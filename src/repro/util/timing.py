@@ -1,0 +1,117 @@
+"""Lightweight wall-clock timers with hierarchical accumulation.
+
+The solver, coupler and benchmarks all report time breakdowns
+(compute vs halo exchange vs coupler wait), so timers are first-class:
+cheap to start/stop, nestable by name, and aggregatable across
+simulated MPI ranks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Use either as a context manager or with explicit
+    :meth:`start`/:meth:`stop` pairs. ``elapsed`` accumulates across
+    start/stop cycles; ``count`` records the number of completed
+    intervals so callers can compute means.
+    """
+
+    name: str = ""
+    elapsed: float = 0.0
+    count: int = 0
+    _t0: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._t0 is not None:
+            raise RuntimeError(f"timer {self.name!r} already running")
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError(f"timer {self.name!r} not running")
+        dt = time.perf_counter() - self._t0
+        self._t0 = None
+        self.elapsed += dt
+        self.count += 1
+        return dt
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None
+
+    @property
+    def mean(self) -> float:
+        """Mean interval length (0.0 if never stopped)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+        self._t0 = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class TimerRegistry:
+    """A named collection of :class:`Timer` objects.
+
+    Each rank of a simulated MPI run owns one registry; the driver
+    merges registries to report per-phase maxima/means, mirroring how
+    the paper reports coupler-wait percentages.
+    """
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    def __getitem__(self, name: str) -> Timer:
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = Timer(name=name)
+            self._timers[name] = timer
+        return timer
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def names(self) -> list[str]:
+        return sorted(self._timers)
+
+    def elapsed(self, name: str) -> float:
+        """Total accumulated seconds for ``name`` (0.0 if absent)."""
+        timer = self._timers.get(name)
+        return timer.elapsed if timer else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {n: t.elapsed for n, t in self._timers.items()}
+
+    def reset(self) -> None:
+        for timer in self._timers.values():
+            timer.reset()
+
+    @staticmethod
+    def merge(registries: list["TimerRegistry"]) -> dict[str, dict[str, float]]:
+        """Aggregate many registries into per-name min/max/mean/sum."""
+        names: set[str] = set()
+        for reg in registries:
+            names.update(reg._timers)
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(names):
+            vals = [reg.elapsed(name) for reg in registries]
+            out[name] = {
+                "min": min(vals),
+                "max": max(vals),
+                "mean": sum(vals) / len(vals),
+                "sum": sum(vals),
+            }
+        return out

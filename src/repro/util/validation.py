@@ -1,0 +1,62 @@
+"""Argument-validation helpers shared across the package.
+
+These raise early, with messages naming the offending argument, so
+errors surface at API boundaries instead of deep inside generated
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float | int, strict: bool = True) -> None:
+    """Require ``value`` > 0 (or >= 0 when ``strict`` is False)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_shape(name: str, arr: np.ndarray, shape: Sequence[int | None]) -> None:
+    """Require ``arr.shape`` to match ``shape`` (None = wildcard dim)."""
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {arr.shape}"
+        )
+    for axis, want in enumerate(shape):
+        if want is not None and arr.shape[axis] != want:
+            raise ValueError(
+                f"{name} axis {axis} must have size {want}, got shape {arr.shape}"
+            )
+
+
+def check_index_array(name: str, arr: np.ndarray, upper: int) -> None:
+    """Require an integer array with all values in ``[0, upper)``."""
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    if arr.size:
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if lo < 0 or hi >= upper:
+            raise ValueError(
+                f"{name} values must lie in [0, {upper}), got range [{lo}, {hi}]"
+            )
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def as_float_array(name: str, value: Any, dim: int | None = None) -> np.ndarray:
+    """Coerce ``value`` to a contiguous float64 array, optionally 1-D of ``dim``."""
+    arr = np.ascontiguousarray(value, dtype=np.float64)
+    if dim is not None:
+        arr = np.atleast_1d(arr)
+        if arr.ndim != 1 or arr.shape[0] != dim:
+            raise ValueError(f"{name} must have {dim} components, got shape {arr.shape}")
+    return arr

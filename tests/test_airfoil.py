@@ -1,0 +1,120 @@
+"""The OP2 airfoil benchmark app: mesh integrity, conservation,
+convergence, aerodynamic sanity, backend portability."""
+
+import numpy as np
+import pytest
+
+from repro import op2
+from repro.apps import AirfoilApp, make_airfoil_mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return make_airfoil_mesh(ni=32, nj=8)
+
+
+class TestMesh:
+    def test_counts(self, mesh):
+        ni, nj = 32, 8
+        assert mesh.nnode == ni * nj
+        assert mesh.ncell == ni * (nj - 1)
+        # radial interior + circumferential interior edges
+        assert mesh.nedge == ni * (nj - 1) + ni * (nj - 2)
+        assert mesh.nbedge == 2 * ni
+
+    def test_every_interior_edge_separates_two_cells(self, mesh):
+        assert (mesh.edge_cells[:, 0] != mesh.edge_cells[:, 1]).all()
+        assert mesh.edge_cells.min() >= 0
+        assert mesh.edge_cells.max() < mesh.ncell
+
+    def test_each_cell_has_four_faces(self, mesh):
+        counts = np.zeros(mesh.ncell, dtype=int)
+        np.add.at(counts, mesh.edge_cells.ravel(), 1)
+        np.add.at(counts, mesh.bedge_cell, 1)
+        assert (counts == 4).all()
+
+    def test_boundary_flags(self, mesh):
+        assert set(np.unique(mesh.bound)) == {1.0, 2.0}
+        assert (mesh.bound == 1.0).sum() == 32  # airfoil ring
+        assert (mesh.bound == 2.0).sum() == 32  # farfield ring
+
+    def test_airfoil_is_closed_sharp_profile(self, mesh):
+        """Joukowski surface: closed curve with a sharp trailing edge
+        near zeta = 2 (the image of the critical point z = 1)."""
+        surface = mesh.x[: 32]
+        assert np.isfinite(surface).all()
+        assert surface[:, 0].max() > 1.8  # trailing edge near 2
+        chord = surface[:, 0].max() - surface[:, 0].min()
+        thick = surface[:, 1].max() - surface[:, 1].min()
+        assert 0.02 < thick / chord < 0.5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="need ni"):
+            make_airfoil_mesh(ni=4, nj=2)
+
+
+class TestSolver:
+    def test_interior_flux_preserves_freestream(self, mesh):
+        """Closed-contour conservation: interior edges of interior
+        cells must exactly cancel for a uniform state."""
+        app = AirfoilApp(mesh)
+        op2.par_loop(app.k_adt, app.cells,
+                     app.x.arg(op2.READ, app.pcell, 0),
+                     app.x.arg(op2.READ, app.pcell, 1),
+                     app.x.arg(op2.READ, app.pcell, 2),
+                     app.x.arg(op2.READ, app.pcell, 3),
+                     app.q.arg(op2.READ), app.adt.arg(op2.WRITE),
+                     app.g_cfl.arg(op2.READ))
+        op2.par_loop(app.k_res, app.edges,
+                     app.x.arg(op2.READ, app.pedge, 0),
+                     app.x.arg(op2.READ, app.pedge, 1),
+                     app.q.arg(op2.READ, app.pecell, 0),
+                     app.q.arg(op2.READ, app.pecell, 1),
+                     app.adt.arg(op2.READ, app.pecell, 0),
+                     app.adt.arg(op2.READ, app.pecell, 1),
+                     app.res.arg(op2.INC, app.pecell, 0),
+                     app.res.arg(op2.INC, app.pecell, 1))
+        interior = np.ones(mesh.ncell, dtype=bool)
+        interior[:32] = False
+        interior[-32:] = False
+        assert np.abs(app.res.data_ro[interior]).max() < 1e-12
+
+    def test_farfield_cells_also_preserve_freestream(self, mesh):
+        """With q = qinf the farfield flux closes the contour exactly,
+        so after one iteration (2 RK stages) the disturbance from the
+        wall has reached exactly the first two cell rings and nothing
+        else — in particular nothing at the farfield."""
+        app = AirfoilApp(mesh)
+        app.iterate(1)
+        moved = np.abs(app.q.data_ro[:, 0] - 1.0) > 1e-12
+        near_wall = np.zeros(mesh.ncell, dtype=bool)
+        near_wall[: 2 * 32] = True  # rings j=0 and j=1
+        assert moved[~near_wall].sum() == 0
+        assert moved[:32].all()  # the wall ring itself must respond
+
+    def test_convergence(self, mesh):
+        app = AirfoilApp(mesh, mach=0.4)
+        history = app.iterate(150)
+        assert history[-1] < 0.1 * history[0]
+        assert np.isfinite(app.q.data_ro).all()
+
+    def test_aerodynamic_sanity(self, mesh):
+        """Stagnation overpressure and suction must both appear, and
+        the peak must not exceed the isentropic stagnation pressure."""
+        app = AirfoilApp(mesh, mach=0.4)
+        app.iterate(150)
+        sp = app.surface_pressure()
+        assert sp.max() > 1.02        # stagnation region
+        assert sp.min() < 0.99        # suction region
+        p0 = (1 + 0.2 * 0.4**2) ** 3.5  # isentropic stagnation at M=0.4
+        assert sp.max() < p0 * 1.05
+
+    @pytest.mark.parametrize("backend", ["vectorized", "coloring", "atomics",
+                                         "blockcolor"])
+    def test_backend_portability(self, mesh, backend):
+        ref = AirfoilApp(mesh, mach=0.3, backend="sequential")
+        ref.iterate(3)
+        other = AirfoilApp(mesh, mach=0.3, backend=backend)
+        other.iterate(3)
+        np.testing.assert_allclose(other.q.data_ro, ref.q.data_ro,
+                                   rtol=1e-12, atol=1e-13)

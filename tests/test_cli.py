@@ -1,0 +1,64 @@
+"""Command-line interface: every subcommand runs and reports."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_scaling_headline(capsys):
+    assert main(["scaling", "--problem", "1-10_4.58B", "--machine",
+                 "ARCHER2", "--nodes", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "1 rev" in out
+    # headline: under 6 hours
+    hours = float([line for line in out.splitlines() if "1 rev" in line][0]
+                  .split(":")[1].split("h")[0])
+    assert hours < 6.0
+
+
+def test_scaling_monolithic_mode(capsys):
+    assert main(["scaling", "--mode", "monolithic", "--machine",
+                 "Haswell-prod", "--nodes", "333"]) == 0
+    assert "monolithic" in capsys.readouterr().out
+
+
+def test_scaling_unknown_problem(capsys):
+    assert main(["scaling", "--problem", "nope"]) == 2
+    assert "unknown name" in capsys.readouterr().err
+
+
+def test_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "Table III" in out
+    assert "Table IV" in out
+    assert "1.36" in out  # power ratio
+
+
+def test_codegen_variants(capsys):
+    for backend, marker in [("sequential", "_seq_wrapper"),
+                            ("vectorized", "add.at"),
+                            ("coloring", "+= r1")]:
+        assert main(["codegen", "--backend", backend]) == 0
+        assert marker in capsys.readouterr().out
+
+
+def test_compressor_small_run(capsys):
+    assert main(["compressor", "--rows", "2", "--steps", "2", "--nt", "12",
+                 "--contour"]) == 0
+    out = capsys.readouterr().out
+    assert "pressure ratio" in out
+    assert "mid-radius" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_report_all_claims_pass(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "20/20 claims reproduced" in out
+    assert "FAIL" not in out

@@ -1,0 +1,89 @@
+"""Dat field algebra and balanced rank allocation."""
+
+import numpy as np
+import pytest
+
+from repro import op2
+from repro.coupler import balanced_ranks
+from repro.mesh import rig250_config
+
+
+class TestDatAlgebra:
+    @pytest.fixture
+    def dats(self):
+        nodes = op2.Set(6, "nodes")
+        a = op2.Dat(nodes, 2, data=np.arange(12.0).reshape(6, 2), name="a")
+        b = op2.Dat(nodes, 2, data=np.ones((6, 2)), name="b")
+        return nodes, a, b
+
+    def test_zero(self, dats):
+        _, a, _ = dats
+        a.zero()
+        assert not a.data_ro.any()
+
+    def test_scale(self, dats):
+        _, a, _ = dats
+        a.scale(2.0)
+        np.testing.assert_allclose(a.data_ro,
+                                   2.0 * np.arange(12.0).reshape(6, 2))
+
+    def test_axpy(self, dats):
+        _, a, b = dats
+        b.axpy(0.5, a)
+        np.testing.assert_allclose(
+            b.data_ro, 1.0 + 0.5 * np.arange(12.0).reshape(6, 2))
+
+    def test_copy_from(self, dats):
+        _, a, b = dats
+        b.copy_from(a)
+        np.testing.assert_array_equal(b.data_ro, a.data_ro)
+
+    def test_incompatible_rejected(self, dats):
+        nodes, a, _ = dats
+        other_set = op2.Set(6, "other")
+        c = op2.Dat(other_set, 2, name="c")
+        with pytest.raises(ValueError, match="incompatible"):
+            a.axpy(1.0, c)
+        d = op2.Dat(nodes, 3, name="d")
+        with pytest.raises(ValueError, match="incompatible"):
+            a.copy_from(d)
+
+    def test_norm(self, dats):
+        _, _, b = dats
+        assert b.norm() == pytest.approx(np.sqrt(12.0))
+
+
+class TestBalancedRanks:
+    def test_sums_to_total_with_floor(self):
+        rig = rig250_config(rows=10)
+        for total in (10, 13, 25, 64):
+            ranks = balanced_ranks(rig, total)
+            assert sum(ranks) == total
+            assert min(ranks) >= 1
+            assert len(ranks) == 10
+
+    def test_proportional_to_row_size(self):
+        """Interior rows carry two halo layers — slightly more nodes —
+        so at large totals they must not get fewer ranks than end rows."""
+        rig = rig250_config(nr=4, nt=32, nx=4, rows=4)
+        ranks = balanced_ranks(rig, 40)
+        assert ranks[1] >= ranks[0]
+        assert ranks[2] >= ranks[3]
+
+    def test_too_few_ranks_rejected(self):
+        rig = rig250_config(rows=10)
+        with pytest.raises(ValueError, match="at least one rank"):
+            balanced_ranks(rig, 9)
+
+    def test_usable_by_driver(self):
+        from repro.coupler import CoupledDriver, CoupledRunConfig
+        from repro.hydra import FlowState, Numerics
+
+        rig = rig250_config(nr=3, nt=12, nx=4, rows=3,
+                            steps_per_revolution=64)
+        ranks = balanced_ranks(rig, 5)
+        cfg = CoupledRunConfig(rig=rig, ranks_per_row=ranks,
+                               numerics=Numerics(inner_iters=2),
+                               inlet=FlowState(ux=0.5), p_out=1.0)
+        result = CoupledDriver(cfg).run(2)
+        assert len(result.rows) == 3

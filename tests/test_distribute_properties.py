@@ -1,0 +1,106 @@
+"""Hypothesis property tests for the distribution planner.
+
+Random connectivity + random ownership must always satisfy the halo
+invariants the owner-compute protocol relies on. These are the
+structural guarantees behind every distributed result in this repo.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.op2.distribute import GlobalProblem, plan_distribution
+
+
+@st.composite
+def random_problem(draw):
+    nnodes = draw(st.integers(min_value=2, max_value=25))
+    nedges = draw(st.integers(min_value=1, max_value=60))
+    nranks = draw(st.integers(min_value=1, max_value=4))
+    table = np.array(
+        draw(st.lists(
+            st.tuples(st.integers(0, nnodes - 1), st.integers(0, nnodes - 1)),
+            min_size=nedges, max_size=nedges)),
+        dtype=np.int64)
+    node_owner = np.array(
+        draw(st.lists(st.integers(0, nranks - 1), min_size=nnodes,
+                      max_size=nnodes)),
+        dtype=np.int64)
+    # ensure every rank owns at least one node (planner allows empty
+    # ranks, but the invariants below are cleaner to state this way)
+    for r in range(nranks):
+        node_owner[r % nnodes] = r
+    edge_owner = node_owner[table[:, 0]]
+    gp = GlobalProblem()
+    gp.add_set("nodes", nnodes)
+    gp.add_set("edges", nedges)
+    gp.add_map("pedge", "edges", "nodes", table)
+    gp.add_dat("q", "nodes", np.arange(float(nnodes)))
+    return gp, table, nranks, {"nodes": node_owner, "edges": edge_owner}
+
+
+@given(random_problem())
+@settings(max_examples=60, deadline=None)
+def test_planner_invariants(problem):
+    gp, table, nranks, owners = problem
+    layouts = plan_distribution(gp, nranks, owners)
+    node_owner = owners["nodes"]
+    edge_owner = owners["edges"]
+
+    # 1. owned elements partition each set exactly
+    for sname, size in gp.sets.items():
+        gathered = np.concatenate(
+            [l.set_layouts[sname].owned for l in layouts])
+        np.testing.assert_array_equal(np.sort(gathered), np.arange(size))
+
+    for p, layout in enumerate(layouts):
+        esl = layout.set_layouts["edges"]
+        nsl = layout.set_layouts["nodes"]
+
+        # 2. redundant-execution coverage: every edge touching a node
+        # owned by p is executable on p (owned or exec halo)
+        executable = set(np.concatenate([esl.owned, esl.exec_halo]).tolist())
+        for e in range(table.shape[0]):
+            if (node_owner[table[e]] == p).any():
+                assert e in executable, (p, e)
+
+        # 3. exec-halo elements are never owned here
+        assert not set(esl.exec_halo.tolist()) & set(esl.owned.tolist())
+        assert (edge_owner[esl.exec_halo] != p).all()
+
+        # 4. localized maps reference only locally-present nodes and
+        # agree with the global table
+        local_tbl = layout.map_tables["pedge"]
+        if local_tbl.size:
+            assert local_tbl.min() >= 0
+            assert local_tbl.max() < nsl.n_local
+            rows = np.concatenate([esl.owned, esl.exec_halo])
+            np.testing.assert_array_equal(nsl.global_ids[local_tbl],
+                                          table[rows])
+
+        # 5. halo regions are disjoint from owned and from each other
+        owned = set(nsl.owned.tolist())
+        ex = set(nsl.exec_halo.tolist())
+        nx = set(nsl.nonexec_halo.tolist())
+        assert not owned & ex and not owned & nx and not ex & nx
+
+        # 6. matched exchange lists: pairwise identical global ids
+        for sname in gp.sets:
+            sl = layout.set_layouts[sname]
+            for scope, plan in sl.plans.items():
+                for q, ridx in plan.recv.items():
+                    peer = layouts[q].set_layouts[sname].plans[scope]
+                    sidx = peer.send[p]
+                    np.testing.assert_array_equal(
+                        sl.global_ids[ridx],
+                        layouts[q].set_layouts[sname].owned[sidx])
+
+        # 7. halo entries are owned by the rank that sends them
+        gids = nsl.global_ids
+        n_owned = len(nsl.owned)
+        halo_gids = gids[n_owned:]
+        full = nsl.plans["full"]
+        recv_gids = np.sort(np.concatenate(
+            [gids[r] for r in full.recv.values()] or
+            [np.empty(0, dtype=np.int64)]))
+        np.testing.assert_array_equal(recv_gids, np.sort(halo_gids))

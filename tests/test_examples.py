@@ -1,0 +1,39 @@
+"""Every example script must run end to end (they are the quickstart
+deliverable — they must never rot)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: script -> argv tail keeping the run short
+ARGS = {
+    "quickstart.py": [],
+    "codegen_tour.py": [],
+    "airfoil_demo.py": ["60"],
+    "coupled_compressor.py": ["8"],
+    "distributed_session.py": [],
+    "steady_state.py": [],
+    "scaling_study.py": [],
+    "fem_poisson.py": [],
+}
+
+
+@pytest.mark.parametrize("script", sorted(ARGS))
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"example {script} missing"
+    monkeypatch.setattr(sys, "argv", [str(path)] + ARGS[script])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script} produced no meaningful output"
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(ARGS), (
+        "update tests/test_examples.py when adding examples"
+    )

@@ -1,0 +1,115 @@
+"""Hydra sessions (sliding-plane adapters) and run monitors."""
+
+import numpy as np
+import pytest
+
+from repro.hydra import FlowState, HydraSession, HydraSolver, Numerics, row_problem
+from repro.hydra.monitors import RunMonitor
+from repro.mesh import RowConfig, RowKind, make_row_mesh
+from repro.op2.distribute import build_serial_problem
+
+
+def make_session(halo_in=False, halo_out=True):
+    cfg = RowConfig(name="row", kind=RowKind.STATOR, nr=3, nt=8, nx=4,
+                    turning_velocity=0.0, work_coeff=0.0,
+                    halo_in=halo_in, halo_out=halo_out)
+    mesh = make_row_mesh(cfg)
+    inflow = FlowState(ux=0.5)
+    local = build_serial_problem(row_problem(mesh, inflow))
+    solver = HydraSolver(local, cfg, Numerics(inner_iters=2), dt_outer=0.05,
+                         inlet=inflow if not halo_in else None,
+                         p_out=1.0 if not halo_out else None)
+    return HydraSession(solver, mesh), mesh
+
+
+class TestSession:
+    def test_sides_present(self):
+        session, _ = make_session(halo_in=True, halo_out=True)
+        assert set(session.sides) == {"in", "out"}
+        session2, _ = make_session(halo_in=False, halo_out=True)
+        assert set(session2.sides) == {"out"}
+
+    def test_donor_values_shape(self):
+        session, mesh = make_session()
+        positions, values = session.donor_values("out")
+        assert positions.shape == (3 * 8,)
+        assert values.shape == (24, 5)
+        # donor values are the initial uniform state
+        assert np.allclose(values, values[0])
+
+    def test_side_geometry_matches_mesh(self):
+        session, mesh = make_session()
+        info = session.side_geometry("out")
+        assert info.grid_shape == (3, 8)
+        np.testing.assert_allclose(
+            np.unique(info.z), np.linspace(2.0, 3.0, 3))
+        assert info.circumference == pytest.approx(mesh.config.circumference)
+
+    def test_apply_halo_roundtrip(self):
+        session, mesh = make_session()
+        positions = session.sides["out"].owned_halo_pos
+        values = np.tile(np.arange(5.0), (positions.size, 1))
+        values[:, 0] = 2.0  # keep density sane
+        session.apply_halo_values("out", positions, values)
+        session.finish_coupling()
+        halo_ids = mesh.iface_out_halo.ravel()
+        np.testing.assert_allclose(
+            session.solver.q.data_with_halos[halo_ids], values)
+
+    def test_apply_halo_rejects_foreign_positions(self):
+        session, _ = make_session()
+        with pytest.raises(ValueError, match="not an owned halo node"):
+            session.apply_halo_values("out", np.array([999]),
+                                      np.zeros((1, 5)))
+
+    def test_halo_nodes_frozen_by_mask(self):
+        """The solver must never advance sliding-halo nodes itself."""
+        session, mesh = make_session()
+        solver = session.solver
+        halo_ids = mesh.iface_out_halo.ravel()
+        marker = np.tile([1.1, 0.4, 0.0, 0.0, 2.0], (halo_ids.size, 1))
+        solver.q.data_with_halos[halo_ids] = marker
+        solver.advance_physical()
+        np.testing.assert_allclose(solver.q.data_with_halos[halo_ids],
+                                   marker)
+
+
+class TestMonitors:
+    def make_solver(self):
+        cfg = RowConfig(name="duct", kind=RowKind.STATOR, nr=3, nt=8, nx=4,
+                        turning_velocity=0.0, work_coeff=0.0)
+        mesh = make_row_mesh(cfg)
+        inflow = FlowState(ux=0.5)
+        local = build_serial_problem(row_problem(mesh, inflow))
+        return HydraSolver(local, cfg, Numerics(inner_iters=4),
+                           dt_outer=0.05, inlet=inflow, p_out=1.0)
+
+    def test_monitor_records_per_step(self):
+        monitor = RunMonitor(self.make_solver())
+        report = monitor.run(3)
+        assert report.steps == 3
+        assert len(report.residuals) == 3
+        assert len(report.mass_balance) == 3
+
+    def test_uniform_flow_reports_zero_residual_and_balance(self):
+        monitor = RunMonitor(self.make_solver())
+        report = monitor.run(2)
+        assert report.final_residual < 1e-10
+        assert abs(report.mass_balance[-1]) < 1e-12
+        assert report.converged(1e-8)
+
+    def test_inner_iterations_damp_perturbations(self):
+        solver = self.make_solver()
+        rng = np.random.default_rng(0)
+        solver.q.data[:, 0] *= 1.0 + 0.01 * rng.standard_normal(
+            solver.q.data.shape[0])
+        monitor = RunMonitor(solver)
+        report = monitor.run(4)
+        assert report.mean_inner_drop() < 1.0
+
+    def test_empty_report(self):
+        report = RunMonitor(self.make_solver()).report()
+        assert report.steps == 0
+        assert np.isnan(report.final_residual)
+        assert not report.converged(1.0)
+        assert report.mean_inner_drop() == 1.0

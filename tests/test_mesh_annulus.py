@@ -1,0 +1,152 @@
+"""Annulus row-mesh generation: geometry and topology invariants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mesh import RowConfig, RowKind, make_row_mesh
+
+
+def cfg(**kw):
+    base = dict(name="row", kind=RowKind.STATOR, nr=3, nt=8, nx=4,
+                x0=0.0, x1=1.0, r_inner=2.0, r_outer=3.0)
+    base.update(kw)
+    return RowConfig(**base)
+
+
+def test_node_count_no_halo():
+    mesh = make_row_mesh(cfg())
+    assert mesh.n_nodes == 3 * 8 * 4
+    assert mesh.nxt == 4
+    assert mesh.ix0_core == 0
+
+
+def test_node_count_with_halos():
+    mesh = make_row_mesh(cfg(halo_in=True, halo_out=True))
+    assert mesh.n_nodes == 3 * 8 * 6
+    assert mesh.nxt == 6
+    assert mesh.ix0_core == 1
+
+
+def test_edge_count():
+    mesh = make_row_mesh(cfg())
+    nr, nt, nxt = 3, 8, 4
+    want = nr * nt * (nxt - 1) + nr * nt * nxt + (nr - 1) * nt * nxt
+    assert mesh.n_edges == want
+
+
+def test_edges_reference_valid_nodes():
+    mesh = make_row_mesh(cfg(halo_in=True))
+    assert mesh.edges.min() >= 0
+    assert mesh.edges.max() < mesh.n_nodes
+
+
+def test_coordinates_span_configured_extents():
+    mesh = make_row_mesh(cfg())
+    assert mesh.coords[:, 0].min() == pytest.approx(0.0)
+    assert mesh.coords[:, 0].max() == pytest.approx(1.0)
+    assert mesh.coords[:, 2].min() == pytest.approx(2.0)
+    assert mesh.coords[:, 2].max() == pytest.approx(3.0)
+
+
+def test_halo_layer_extends_beyond_core():
+    mesh = make_row_mesh(cfg(halo_in=True, halo_out=True))
+    dx = 1.0 / 3
+    assert mesh.coords[:, 0].min() == pytest.approx(-dx)
+    assert mesh.coords[:, 0].max() == pytest.approx(1.0 + dx)
+
+
+def test_mask_marks_halo_layers_only():
+    mesh = make_row_mesh(cfg(halo_in=True))
+    n_halo = int((mesh.node_mask == 0).sum())
+    assert n_halo == 3 * 8  # one layer of nr*nt nodes
+    # halo nodes are exactly those at the extruded x-station
+    halo_ids = np.nonzero(mesh.node_mask == 0)[0]
+    assert np.allclose(mesh.coords[halo_ids, 0], mesh.coords[:, 0].min())
+
+
+def test_total_volume_matches_box():
+    """Dual volumes of core nodes must tile the core duct volume."""
+    mesh = make_row_mesh(cfg())
+    c = mesh.config
+    want = (c.x1 - c.x0) * c.circumference * (c.r_outer - c.r_inner)
+    assert mesh.node_vol.sum() == pytest.approx(want)
+
+
+def test_x_face_areas_tile_cross_section():
+    """Sum of inlet face areas must equal the annulus cross-section."""
+    mesh = make_row_mesh(cfg())
+    c = mesh.config
+    want = c.circumference * (c.r_outer - c.r_inner)
+    assert mesh.inlet_area.sum() == pytest.approx(want)
+    assert mesh.outlet_area.sum() == pytest.approx(want)
+
+
+def test_sliding_inlet_has_no_bc_faces():
+    mesh = make_row_mesh(cfg(halo_in=True))
+    assert mesh.inlet_nodes.size == 0
+    assert mesh.outlet_nodes.size > 0
+
+
+def test_interface_grids_shape_and_position():
+    mesh = make_row_mesh(cfg(halo_out=True))
+    assert mesh.iface_out_plane.shape == (3, 8)
+    assert mesh.iface_out_halo.shape == (3, 8)
+    # plane sits at x1, halo one spacing beyond
+    assert np.allclose(mesh.coords[mesh.iface_out_plane.ravel(), 0], 1.0)
+    dx = 1.0 / 3
+    assert np.allclose(mesh.coords[mesh.iface_out_halo.ravel(), 0], 1.0 + dx)
+    assert mesh.iface_in_plane.size == 0
+
+
+def test_periodic_y_edges_wrap():
+    """Every node must have a +y neighbour; wrap edges must exist."""
+    mesh = make_row_mesh(cfg())
+    c = mesh.config
+    ymax = c.circumference * (c.nt - 1) / c.nt
+    # find an edge connecting y=ymax to y=0 at same (x, z)
+    y = mesh.coords[:, 1]
+    wrap = [
+        (a, b) for a, b in mesh.edges
+        if {round(y[a], 9), round(y[b], 9)} == {0.0, round(ymax, 9)}
+        and mesh.coords[a, 0] == mesh.coords[b, 0]
+        and mesh.coords[a, 2] == mesh.coords[b, 2]
+    ]
+    assert len(wrap) == c.nr * c.nx
+
+
+def test_wall_faces_cover_hub_and_casing():
+    mesh = make_row_mesh(cfg())
+    c = mesh.config
+    assert mesh.wall_nodes.size == 2 * c.nt * c.nx
+    # hub normals point inward (-z), casing outward (+z)
+    assert (mesh.wall_normal_z[: c.nt * c.nx] < 0).all()
+    assert (mesh.wall_normal_z[c.nt * c.nx:] > 0).all()
+    # each wall's total area equals the cylinder strip area
+    hub_area = -mesh.wall_normal_z[: c.nt * c.nx].sum()
+    assert hub_area == pytest.approx((c.x1 - c.x0) * c.circumference)
+
+
+def test_edge_weights_axis_aligned():
+    mesh = make_row_mesh(cfg())
+    nonzero = np.count_nonzero(mesh.edge_w, axis=1)
+    assert (nonzero == 1).all()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="nr>="):
+        cfg(nr=1)
+    with pytest.raises(ValueError, match="x1"):
+        cfg(x1=-1.0)
+    with pytest.raises(ValueError, match="r_outer"):
+        cfg(r_outer=1.0)
+    with pytest.raises(ValueError, match="blade_count"):
+        cfg(blade_count=0)
+
+
+def test_theta_range():
+    mesh = make_row_mesh(cfg())
+    th = mesh.theta()
+    assert th.min() == pytest.approx(0.0)
+    assert th.max() < 2 * math.pi

@@ -1,0 +1,140 @@
+"""Rig250 configuration and partitioner quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import (
+    RowKind,
+    edge_cut,
+    imbalance,
+    make_row_mesh,
+    partition_graph_greedy,
+    partition_rcb,
+    partition_strips,
+    rig250_config,
+)
+
+
+class TestRig250:
+    def test_full_machine_has_ten_rows(self):
+        cfg = rig250_config(rows=10)
+        assert cfg.n_rows == 10
+        assert cfg.n_interfaces == 9
+        names = [r.name for r in cfg.rows]
+        assert names == ["igv", "r1", "s1", "r2", "s2", "r3", "s3", "r4",
+                         "s4", "ogv"]
+
+    def test_swan_neck_variant_is_1_10(self):
+        cfg = rig250_config(rows=10, include_swan_neck=True)
+        assert cfg.rows[0].kind is RowKind.SWAN_NECK
+        assert cfg.rows[-1].name == "s4"  # OGV falls off the back at 10 rows
+
+    def test_two_row_variant(self):
+        cfg = rig250_config(rows=2)
+        assert [r.name for r in cfg.rows] == ["igv", "r1"]
+        assert cfg.rows[0].halo_out and not cfg.rows[0].halo_in
+        assert cfg.rows[1].halo_in and not cfg.rows[1].halo_out
+
+    def test_rotors_rotate_stators_do_not(self):
+        cfg = rig250_config(rows=10, rpm=11_000)
+        for row in cfg.rows:
+            if row.kind is RowKind.ROTOR:
+                assert row.omega > 0
+            else:
+                assert row.omega == 0.0
+        assert len(cfg.rotor_rows()) == 4
+
+    def test_rows_abut_axially(self):
+        cfg = rig250_config(rows=10)
+        for a, b in zip(cfg.rows, cfg.rows[1:]):
+            assert a.x1 == pytest.approx(b.x0)
+
+    def test_interior_rows_have_both_halos(self):
+        cfg = rig250_config(rows=10)
+        for row in cfg.rows[1:-1]:
+            assert row.halo_in and row.halo_out
+
+    def test_blade_counts_distinct_across_interfaces(self):
+        cfg = rig250_config(rows=10)
+        for a, b in zip(cfg.rows, cfg.rows[1:]):
+            assert a.blade_count != b.blade_count
+
+    def test_total_nodes_counts_halo_layers(self):
+        cfg = rig250_config(nr=3, nt=8, nx=4, rows=3)
+        # 3 rows of 3*8*4 plus 4 halo layers of 3*8
+        assert cfg.total_nodes == 3 * (3 * 8 * 4) + 4 * 24
+
+    def test_omega_physical_from_rpm(self):
+        cfg = rig250_config(rpm=11_000)
+        assert cfg.omega_physical == pytest.approx(2 * np.pi * 11_000 / 60)
+
+    def test_simulation_timescales_consistent(self):
+        cfg = rig250_config(steps_per_revolution=2000)
+        assert cfg.revolution_time == pytest.approx(2 * np.pi / cfg.omega_sim)
+        assert cfg.dt_outer * 2000 == pytest.approx(cfg.revolution_time)
+        # rotor wheel speed subsonic relative to c0 = sqrt(1.4)
+        for row in cfg.rotor_rows():
+            assert abs(row.wheel_speed) < np.sqrt(1.4)
+
+    def test_rows_must_be_positive(self):
+        with pytest.raises(ValueError):
+            rig250_config(rows=0)
+
+
+class TestPartitioners:
+    @pytest.fixture
+    def row(self):
+        from repro.mesh import RowConfig
+
+        return make_row_mesh(RowConfig(name="row", kind=RowKind.STATOR,
+                                       nr=4, nt=16, nx=6))
+
+    def test_strips_cover_and_balance(self):
+        owner = partition_strips(100, 7)
+        assert owner.shape == (100,)
+        assert set(owner.tolist()) == set(range(7))
+        assert imbalance(owner, 7) <= 1.1
+
+    @pytest.mark.parametrize("nparts", [2, 3, 4, 8])
+    def test_rcb_balances(self, row, nparts):
+        owner = partition_rcb(row.coords, nparts)
+        assert set(owner.tolist()) == set(range(nparts))
+        assert imbalance(owner, nparts) <= 1.05
+
+    def test_rcb_beats_random_on_edge_cut(self, row):
+        rng = np.random.default_rng(0)
+        random_owner = rng.integers(0, 4, size=row.n_nodes)
+        rcb_owner = partition_rcb(row.coords, 4)
+        assert edge_cut(row.edges, rcb_owner) < edge_cut(row.edges, random_owner)
+
+    @pytest.mark.parametrize("nparts", [2, 3, 5])
+    def test_greedy_graph_balances(self, row, nparts):
+        owner = partition_graph_greedy(row.edges, row.n_nodes, nparts)
+        assert (owner >= 0).all()
+        assert imbalance(owner, nparts) <= 1.2
+
+    def test_greedy_graph_beats_random_on_edge_cut(self, row):
+        rng = np.random.default_rng(1)
+        random_owner = rng.integers(0, 4, size=row.n_nodes)
+        greedy = partition_graph_greedy(row.edges, row.n_nodes, 4)
+        assert edge_cut(row.edges, greedy) < edge_cut(row.edges, random_owner)
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_strips_property(self, nparts, n):
+        owner = partition_strips(n, nparts)
+        assert owner.shape == (n,)
+        if n >= nparts:
+            assert owner.max() == nparts - 1
+        assert (np.diff(owner) >= 0).all()  # monotone
+
+    def test_edge_cut_zero_for_single_part(self):
+        edges = np.array([[0, 1], [1, 2]])
+        assert edge_cut(edges, np.zeros(3, dtype=np.int64)) == 0
+
+    def test_imbalance_of_skewed_partition(self):
+        owner = np.array([0, 0, 0, 1])
+        assert imbalance(owner, 2) == pytest.approx(1.5)

@@ -1,0 +1,194 @@
+"""CUDA/OpenMP C source generation: structural correspondence with the
+executable Python backends (the paper's Fig. 4 outputs)."""
+
+import pytest
+
+from repro import op2
+from repro.hydra.kernels import KERNELS
+from repro.op2.codegen.csource import generate_cuda, generate_openmp
+from repro.op2.kernel import KernelParseError
+
+FLUX_SIG = (
+    ("dat", op2.READ, "idx", 5, 2),
+    ("dat", op2.READ, "idx", 5, 2),
+    ("dat", op2.READ, "direct", 3, 0),
+    ("dat", op2.INC, "idx", 5, 2),
+    ("dat", op2.INC, "idx", 5, 2),
+    ("gbl", op2.READ, 1),
+)
+
+
+class TestCUDA:
+    def test_flux_kernel_structure(self):
+        src = generate_cuda(KERNELS["flux_edge"], FLUX_SIG)
+        assert "__global__ void op_cuda_flux_edge(" in src
+        assert "__device__ inline void flux_edge_gpu(" in src
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in src
+        # indirect increments become atomics — the paper's GPU strategy
+        assert "atomicAdd(&r1[0]" in src
+        assert "atomicAdd(&r2[4]" in src
+        # decrements are negated atomic adds
+        assert "atomicAdd(&r2[0], -(" in src
+        # indirect reads are gathered through the map
+        assert "a0 + m0[n] * 5" in src
+        # constants are plain pointer args
+        assert "const double *g5" in src
+
+    def test_math_functions_mapped_to_c(self):
+        src = generate_cuda(KERNELS["flux_edge"], FLUX_SIG)
+        assert "sqrt(" in src
+        assert "fmax(" in src
+        assert "fabs(" in src
+        assert "_np" not in src  # no Python leakage
+
+    def test_reduction_global_gets_atomic_fold(self):
+        def k(x, s):
+            s[0] += x[0] * x[0]
+
+        sig = (("dat", op2.READ, "direct", 1, 0), ("gbl", op2.INC, 1))
+        src = generate_cuda(op2.Kernel(k, name="norm_k"), sig)
+        assert "double s_l[1] = {0.0};" in src
+        assert "atomicAdd(&g1[d], s_l[d]);" in src
+
+    def test_conditional_expression_becomes_ternary(self):
+        def k(x, y):
+            y[0] = x[0] if x[0] > 0.0 else 0.0
+
+        sig = (("dat", op2.READ, "direct", 1, 0),
+               ("dat", op2.WRITE, "direct", 1, 0))
+        src = generate_cuda(op2.Kernel(k, name="relu_k"), sig)
+        assert "?" in src and ":" in src
+        assert "(x[0] > 0.0)" in src
+
+    def test_for_loop_translated(self):
+        def k(x, s):
+            for i in range(5):
+                s[0] += x[i]
+
+        sig = (("dat", op2.READ, "direct", 5, 0), ("gbl", op2.INC, 1))
+        src = generate_cuda(op2.Kernel(k, name="sum_k"), sig)
+        assert "for (int i = 0; i < 5; i++) {" in src
+
+    def test_vector_args_indexed_through_map(self):
+        def k(xs, out):
+            out[0] = xs[0, 0] + xs[1, 0]
+
+        sig = (("dat", op2.READ, "all", 3, 2),
+               ("dat", op2.WRITE, "direct", 1, 0))
+        src = generate_cuda(op2.Kernel(k, name="pair_k"), sig)
+        assert "xs_base[xs_map[0] * 3 + 0]" in src
+        assert "xs_base[xs_map[1] * 3 + 0]" in src
+
+    def test_arity_mismatch_rejected(self):
+        def k(x):
+            x[0] = 1.0
+
+        with pytest.raises(KernelParseError, match="parameters"):
+            generate_cuda(op2.Kernel(k), FLUX_SIG)
+
+
+class TestOpenMP:
+    def test_block_color_plan_loop(self):
+        src = generate_openmp(KERNELS["flux_edge"], FLUX_SIG)
+        assert "void op_omp_flux_edge(" in src
+        assert "#pragma omp parallel for" in src
+        # colors are serial, blocks within a color are parallel —
+        # exactly the BlockColorBackend's execution order
+        assert "for (int col = 0; col < plan->ncolors; col++)" in src
+        assert "plan->blkmap[" in src
+        # no atomics needed: the plan guarantees conflict-freedom
+        assert "atomicAdd" not in src
+
+    def test_elemental_function_is_host_inline(self):
+        src = generate_openmp(KERNELS["flux_edge"], FLUX_SIG)
+        assert "static inline void flux_edge(" in src
+        assert "__device__" not in src
+
+    def test_plain_increment_in_host_code(self):
+        src = generate_openmp(KERNELS["flux_edge"], FLUX_SIG)
+        assert "r1[0] += " in src
+        assert "r2[0] -= " in src
+
+
+class TestEveryHydraKernelGenerates:
+    """Every kernel of the real solver must translate to both targets."""
+
+    SIGS = {
+        "zero_res": (("dat", op2.WRITE, "direct", 5, 0),),
+        "flux_edge": FLUX_SIG,
+        "wall_flux": (("dat", op2.READ, "idx", 5, 1),
+                      ("dat", op2.READ, "direct", 1, 0),
+                      ("dat", op2.INC, "idx", 5, 1),
+                      ("gbl", op2.READ, 1)),
+        "rk_stage": (("dat", op2.READ, "direct", 5, 0),
+                     ("dat", op2.READ, "direct", 5, 0),
+                     ("dat", op2.READ, "direct", 1, 0),
+                     ("dat", op2.READ, "direct", 1, 0),
+                     ("dat", op2.WRITE, "direct", 5, 0),
+                     ("gbl", op2.READ, 1)),
+        "local_dt": (("dat", op2.READ, "direct", 5, 0),
+                     ("gbl", op2.READ, 1), ("gbl", op2.READ, 1),
+                     ("gbl", op2.READ, 1), ("gbl", op2.MIN, 1)),
+    }
+
+    @pytest.mark.parametrize("name", sorted(SIGS))
+    def test_generates_both_targets(self, name):
+        kern = KERNELS[name]
+        cuda = generate_cuda(kern, self.SIGS[name])
+        omp = generate_openmp(kern, self.SIGS[name])
+        assert f"op_cuda_{name}" in cuda
+        assert f"op_omp_{name}" in omp
+        # balanced braces: crude but effective syntax smoke test
+        assert cuda.count("{") == cuda.count("}")
+        assert omp.count("{") == omp.count("}")
+
+
+def test_min_reduction_uses_cas_atomic():
+    def k(x, lo):
+        lo[0] = min(lo[0], x[0])
+
+    sig = (("dat", op2.READ, "direct", 1, 0), ("gbl", op2.MIN, 1))
+    src = generate_cuda(op2.Kernel(k, name="min_k"), sig)
+    assert "double lo_l[1] = {INFINITY};" in src
+    assert "op_atomic_min_double(&g1[d], lo_l[d]);" in src
+    assert "atomicAdd(&g1" not in src
+
+
+class TestCrossAppGeneration:
+    """The C generators must handle every app's kernels, including the
+    FEM vector-argument motif."""
+
+    def test_fem_stiffness_vector_args(self):
+        from repro.apps.fem import stiffness
+
+        sig = (("dat", op2.READ, "all", 2, 3), ("dat", op2.READ, "all", 1, 3),
+               ("dat", op2.INC, "all", 1, 3))
+        src = generate_cuda(op2.Kernel(stiffness), sig)
+        # vector reads go through the map...
+        assert "xs_base[xs_map[1] * 2 + 1]" in src
+        # ...and vector INC becomes an atomic through the map
+        assert "atomicAdd(&r_base[r_map[0] * 1 + 0]" in src
+        assert src.count("{") == src.count("}")
+
+    def test_airfoil_res_calc(self):
+        from repro.apps.airfoil import res_calc
+
+        sig = (("dat", op2.READ, "idx", 2, 2), ("dat", op2.READ, "idx", 2, 2),
+               ("dat", op2.READ, "idx", 4, 2), ("dat", op2.READ, "idx", 4, 2),
+               ("dat", op2.READ, "idx", 1, 2), ("dat", op2.READ, "idx", 1, 2),
+               ("dat", op2.INC, "idx", 4, 2), ("dat", op2.INC, "idx", 4, 2))
+        cuda = generate_cuda(op2.Kernel(res_calc), sig)
+        omp = generate_openmp(op2.Kernel(res_calc), sig)
+        assert "atomicAdd(&res1[0]" in cuda
+        assert "res1[0] += " in omp
+
+    def test_turbulence_kernels(self):
+        from repro.hydra.turbulence import KERNELS as TURB
+
+        sig = (("dat", op2.READ, "idx", 5, 2), ("dat", op2.READ, "idx", 5, 2),
+               ("dat", op2.READ, "idx", 1, 2), ("dat", op2.READ, "idx", 1, 2),
+               ("dat", op2.READ, "direct", 3, 0),
+               ("dat", op2.INC, "idx", 1, 2), ("dat", op2.INC, "idx", 1, 2))
+        src = generate_cuda(TURB["nut_flux_edge"], sig)
+        assert "__global__ void op_cuda_nut_flux_edge" in src
+        assert src.count("{") == src.count("}")

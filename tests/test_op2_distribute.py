@@ -1,0 +1,132 @@
+"""Distribution planning: halo layout invariants and exchange plans."""
+
+import numpy as np
+import pytest
+
+from repro import op2
+from repro.op2.distribute import GlobalProblem, plan_distribution
+
+
+def ring_problem(n=12):
+    gp = GlobalProblem()
+    gp.add_set("nodes", n)
+    gp.add_set("edges", n)
+    table = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    gp.add_map("pedge", "edges", "nodes", table)
+    gp.add_dat("q", "nodes", np.arange(float(n)))
+    return gp, table
+
+
+def block_owners(n, nranks):
+    return np.minimum(np.arange(n) * nranks // n, nranks - 1).astype(np.int64)
+
+
+def test_planning_requires_all_owners():
+    gp, _ = ring_problem()
+    with pytest.raises(ValueError, match="owner array"):
+        plan_distribution(gp, 2, {"nodes": block_owners(12, 2)})
+
+
+def test_owned_elements_partition_globally():
+    gp, _ = ring_problem(12)
+    owners = {"nodes": block_owners(12, 3), "edges": block_owners(12, 3)}
+    layouts = plan_distribution(gp, 3, owners)
+    for sname, size in gp.sets.items():
+        all_owned = np.concatenate([l.set_layouts[sname].owned for l in layouts])
+        np.testing.assert_array_equal(np.sort(all_owned), np.arange(size))
+
+
+def test_exec_halo_covers_boundary_edges():
+    """Every edge touching a rank's owned node must be executable there."""
+    gp, table = ring_problem(12)
+    node_owner = block_owners(12, 3)
+    edge_owner = node_owner[table[:, 0]]
+    layouts = plan_distribution(gp, 3,
+                                {"nodes": node_owner, "edges": edge_owner})
+    for p, layout in enumerate(layouts):
+        sl = layout.set_layouts["edges"]
+        executable = set(np.concatenate([sl.owned, sl.exec_halo]).tolist())
+        for e in range(12):
+            if any(node_owner[v] == p for v in table[e]):
+                assert e in executable, f"edge {e} missing on rank {p}"
+
+
+def test_map_targets_all_local():
+    gp, table = ring_problem(10)
+    node_owner = block_owners(10, 2)
+    edge_owner = node_owner[table[:, 0]]
+    layouts = plan_distribution(gp, 2,
+                                {"nodes": node_owner, "edges": edge_owner})
+    for layout in layouts:
+        tbl = layout.map_tables["pedge"]
+        n_local = layout.set_layouts["nodes"].n_local
+        assert tbl.min() >= 0 and tbl.max() < n_local
+
+
+def test_localized_map_matches_global():
+    gp, table = ring_problem(10)
+    node_owner = block_owners(10, 2)
+    edge_owner = node_owner[table[:, 0]]
+    layouts = plan_distribution(gp, 2,
+                                {"nodes": node_owner, "edges": edge_owner})
+    for layout in layouts:
+        esl = layout.set_layouts["edges"]
+        nsl = layout.set_layouts["nodes"]
+        rows = np.concatenate([esl.owned, esl.exec_halo])
+        local_tbl = layout.map_tables["pedge"]
+        node_gids = nsl.global_ids
+        np.testing.assert_array_equal(node_gids[local_tbl], table[rows])
+
+
+def test_exchange_plans_are_matched():
+    """recv list on p from q pairs index-for-index with send list on q to p."""
+    gp, table = ring_problem(12)
+    node_owner = block_owners(12, 3)
+    edge_owner = node_owner[table[:, 0]]
+    layouts = plan_distribution(gp, 3,
+                                {"nodes": node_owner, "edges": edge_owner})
+    for sname in gp.sets:
+        for p, layout in enumerate(layouts):
+            sl = layout.set_layouts[sname]
+            for scope, plan in sl.plans.items():
+                for q, ridx in plan.recv.items():
+                    peer = layouts[q].set_layouts[sname].plans[scope]
+                    assert p in peer.send, (sname, scope, p, q)
+                    sidx = peer.send[p]
+                    assert len(sidx) == len(ridx)
+                    # global ids must agree pairwise
+                    r_gids = sl.global_ids[ridx]
+                    s_gids = layouts[q].set_layouts[sname].owned[sidx]
+                    np.testing.assert_array_equal(r_gids, s_gids)
+
+
+def test_partial_plan_subset_of_full():
+    gp, table = ring_problem(12)
+    node_owner = block_owners(12, 4)
+    edge_owner = node_owner[table[:, 0]]
+    layouts = plan_distribution(gp, 4,
+                                {"nodes": node_owner, "edges": edge_owner})
+    for layout in layouts:
+        sl = layout.set_layouts["nodes"]
+        full = sl.plans["full"]
+        partial = sl.plans.get("pedge")
+        assert partial is not None
+        assert partial.recv_entries <= full.recv_entries
+
+
+def test_single_rank_has_empty_halos():
+    gp, table = ring_problem(8)
+    owners = {"nodes": np.zeros(8, dtype=np.int64),
+              "edges": np.zeros(8, dtype=np.int64)}
+    layouts = plan_distribution(gp, 1, owners)
+    sl = layouts[0].set_layouts["nodes"]
+    assert len(sl.exec_halo) == 0
+    assert len(sl.nonexec_halo) == 0
+    assert sl.plans["full"].recv_entries == 0
+
+
+def test_derive_owner_from_map():
+    gp, table = ring_problem(6)
+    node_owner = np.array([0, 0, 1, 1, 2, 2])
+    edge_owner = op2.derive_owner_from_map(table, node_owner)
+    np.testing.assert_array_equal(edge_owner, [0, 0, 1, 1, 2, 2])

@@ -1,0 +1,150 @@
+"""Halo-exchange unit behaviour: freshness scopes, exchange mechanics,
+dirty-bit protocol details not covered by the end-to-end MPI tests."""
+
+import numpy as np
+import pytest
+
+from repro import op2
+from repro.op2.distribute import GlobalProblem, plan_distribution
+from repro.op2.halo import exchange_halos
+from repro.smpi import run_ranks
+
+
+def ring_layouts(n=16, nranks=2):
+    gp = GlobalProblem()
+    gp.add_set("nodes", n)
+    gp.add_set("edges", n)
+    ring = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    gp.add_map("pedge", "edges", "nodes", ring)
+    gp.add_dat("q", "nodes", np.arange(float(n)))
+    node_owner = np.minimum(np.arange(n) * nranks // n, nranks - 1)
+    owners = {"nodes": node_owner, "edges": node_owner[ring[:, 0]]}
+    return gp, plan_distribution(gp, nranks, owners)
+
+
+class TestFreshnessProtocol:
+    def test_initial_data_is_fresh(self):
+        gp, layouts = ring_layouts()
+
+        def fn(comm):
+            local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+            return local.dats["q"].halo_fresh
+
+        assert run_ranks(2, fn) == [True, True]
+
+    def test_writing_owned_data_marks_stale(self):
+        gp, layouts = ring_layouts()
+
+        def fn(comm):
+            local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+            q = local.dats["q"]
+            q.data[0] = 99.0
+            return q.halo_fresh
+
+        assert run_ranks(2, fn) == [False, False]
+
+    def test_exchange_restores_freshness_and_values(self):
+        gp, layouts = ring_layouts()
+
+        def fn(comm):
+            local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+            q = local.dats["q"]
+            # owners overwrite with a recognizable value
+            q.data[:] = 100.0 + comm.rank
+            exchange_halos(local.sets["nodes"], [q], scope="full")
+            # halo copies now carry the *owner's* value
+            halo = local.sets["nodes"].halo
+            gids = halo.global_ids
+            n_owned = local.sets["nodes"].size
+            owner_of = np.minimum(np.arange(gp.sets["nodes"])
+                                  * comm.size // gp.sets["nodes"],
+                                  comm.size - 1)
+            expect = 100.0 + owner_of[gids[n_owned:]]
+            got = q.data_with_halos[n_owned:, 0]
+            np.testing.assert_allclose(got, expect)
+            return q.halo_fresh
+
+        assert all(run_ranks(2, fn))
+
+    def test_partial_freshness_does_not_satisfy_full(self):
+        gp, layouts = ring_layouts()
+
+        def fn(comm):
+            local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+            q = local.dats["q"]
+            q.mark_halo_stale()
+            exchange_halos(local.sets["nodes"], [q], scope="pedge")
+            return (q.is_fresh_for("pedge"), q.is_fresh_for("full"),
+                    q.is_fresh_for("exec"))
+
+        for fresh_pedge, fresh_full, fresh_exec in run_ranks(2, fn):
+            assert fresh_pedge is True
+            assert fresh_full is False
+            assert fresh_exec is False
+
+    def test_full_freshness_satisfies_any_scope(self):
+        gp, layouts = ring_layouts()
+
+        def fn(comm):
+            local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+            q = local.dats["q"]
+            q.mark_halo_stale()
+            exchange_halos(local.sets["nodes"], [q], scope="full")
+            return q.is_fresh_for("pedge") and q.is_fresh_for("exec")
+
+        assert all(run_ranks(2, fn))
+
+    def test_unknown_scope_falls_back_to_full(self):
+        gp, layouts = ring_layouts()
+
+        def fn(comm):
+            local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+            q = local.dats["q"]
+            q.mark_halo_stale()
+            exchange_halos(local.sets["nodes"], [q], scope="no_such_map")
+            return q.fresh_for
+
+        assert run_ranks(2, fn) == ["full", "full"]
+
+    def test_exchange_on_serial_set_is_noop(self):
+        nodes = op2.Set(4, "nodes")
+        d = op2.Dat(nodes, 1, data=np.arange(4.0))
+        exchange_halos(nodes, [d])  # must not raise
+
+    def test_wrong_set_rejected(self):
+        gp, layouts = ring_layouts()
+
+        def fn(comm):
+            local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+            foreign = op2.Dat(local.sets["edges"], 1)
+            with pytest.raises(ValueError, match="lives on"):
+                exchange_halos(local.sets["nodes"], [foreign])
+
+        run_ranks(2, fn)
+
+    def test_grouped_exchange_matches_plain(self):
+        gp2 = GlobalProblem()
+        n = 12
+        gp2.add_set("nodes", n)
+        gp2.add_set("edges", n)
+        ring = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+        gp2.add_map("pedge", "edges", "nodes", ring)
+        gp2.add_dat("a", "nodes", np.arange(float(n)))
+        gp2.add_dat("b", "nodes", np.arange(float(n)) * 10)
+        node_owner = np.minimum(np.arange(n) * 2 // n, 1)
+        owners = {"nodes": node_owner, "edges": node_owner[ring[:, 0]]}
+        layouts = plan_distribution(gp2, 2, owners)
+
+        def fn(comm, grouped):
+            local = op2.build_local_problem(gp2, layouts[comm.rank], comm)
+            a, b = local.dats["a"], local.dats["b"]
+            a.data[:] = comm.rank + 1.0
+            b.data[:] = (comm.rank + 1.0) * 100
+            exchange_halos(local.sets["nodes"], [a, b], grouped=grouped)
+            return (a.data_with_halos.copy(), b.data_with_halos.copy())
+
+        plain = run_ranks(2, fn, args=(False,))
+        packed = run_ranks(2, fn, args=(True,))
+        for (a1, b1), (a2, b2) in zip(plain, packed):
+            np.testing.assert_array_equal(a1, a2)
+            np.testing.assert_array_equal(b1, b2)

@@ -1,0 +1,193 @@
+"""OP2 data model: Sets, Maps, Dats, Globals, Args and their validation."""
+
+import numpy as np
+import pytest
+
+from repro import op2
+
+
+@pytest.fixture
+def mesh():
+    nodes = op2.Set(4, "nodes")
+    edges = op2.Set(3, "edges")
+    pedge = op2.Map(edges, nodes, 2, [[0, 1], [1, 2], [2, 3]], "pedge")
+    return nodes, edges, pedge
+
+
+def test_set_sizes():
+    s = op2.Set(10, "s")
+    assert len(s) == 10
+    assert s.exec_size == 10
+    assert s.total_size == 10
+    assert not s.is_distributed
+
+
+def test_set_rejects_negative_size():
+    with pytest.raises(ValueError):
+        op2.Set(-1)
+
+
+def test_set_rejects_bad_name():
+    with pytest.raises(ValueError, match="identifier"):
+        op2.Set(3, "bad name")
+
+
+def test_map_shape_validation(mesh):
+    nodes, edges, _ = mesh
+    with pytest.raises(ValueError, match="shape"):
+        op2.Map(edges, nodes, 2, np.zeros((2, 2), dtype=np.int64))
+
+
+def test_map_rejects_out_of_range_targets(mesh):
+    nodes, edges, _ = mesh
+    with pytest.raises(ValueError, match=r"\[0, 4\)"):
+        op2.Map(edges, nodes, 2, [[0, 1], [1, 9], [2, 3]])
+
+
+def test_map_values_are_readonly(mesh):
+    _, _, pedge = mesh
+    with pytest.raises(ValueError):
+        pedge.values[0, 0] = 5
+
+
+def test_map_column(mesh):
+    _, _, pedge = mesh
+    np.testing.assert_array_equal(pedge.column(1), [1, 2, 3])
+    with pytest.raises(IndexError):
+        pedge.column(2)
+
+
+def test_dat_default_zero(mesh):
+    nodes, _, _ = mesh
+    d = op2.Dat(nodes, 3)
+    assert d.data.shape == (4, 3)
+    assert not d.data.any()
+
+
+def test_dat_1d_data_promoted(mesh):
+    nodes, _, _ = mesh
+    d = op2.Dat(nodes, 1, data=[1.0, 2.0, 3.0, 4.0])
+    assert d.data.shape == (4, 1)
+
+
+def test_dat_shape_mismatch(mesh):
+    nodes, _, _ = mesh
+    with pytest.raises(ValueError, match="shape"):
+        op2.Dat(nodes, 2, data=np.zeros((3, 2)))
+
+
+def test_dat_data_ro_immutable(mesh):
+    nodes, _, _ = mesh
+    d = op2.Dat(nodes, 1)
+    with pytest.raises(ValueError):
+        d.data_ro[0] = 1.0
+
+
+def test_dat_duplicate_is_deep(mesh):
+    nodes, _, _ = mesh
+    d = op2.Dat(nodes, 1, data=np.ones((4, 1)))
+    d2 = d.duplicate()
+    d2.data[0] = 99.0
+    assert d.data[0, 0] == 1.0
+
+
+def test_global_scalar_roundtrip():
+    g = op2.Global(1, 3.5, "g")
+    assert g.value == 3.5
+    g.value = 4.0
+    assert g.data[0] == 4.0
+
+
+def test_global_vector_fill():
+    g = op2.Global(3, 2.0)
+    np.testing.assert_array_equal(g.data, [2.0, 2.0, 2.0])
+
+
+def test_global_scalar_access_on_vector_raises():
+    g = op2.Global(2, 0.0)
+    with pytest.raises(ValueError, match="not scalar"):
+        _ = g.value
+
+
+def test_global_neutral_elements():
+    g = op2.Global(2, 0.0)
+    np.testing.assert_array_equal(g.neutral(op2.INC), [0.0, 0.0])
+    assert np.all(np.isinf(g.neutral(op2.MIN)))
+    assert np.all(g.neutral(op2.MAX) == -np.inf)
+
+
+def test_global_combine():
+    g = op2.Global(1, 5.0)
+    g.combine(op2.INC, np.array([2.0]))
+    assert g.value == 7.0
+    g.combine(op2.MIN, np.array([3.0]))
+    assert g.value == 3.0
+    g.combine(op2.MAX, np.array([10.0]))
+    assert g.value == 10.0
+
+
+def test_arg_direct_construction(mesh):
+    nodes, _, _ = mesh
+    d = op2.Dat(nodes, 1)
+    arg = d.arg(op2.READ)
+    assert arg.is_direct and not arg.is_indirect
+    assert arg.kernel_shape() == (1,)
+
+
+def test_arg_indirect_requires_idx(mesh):
+    nodes, _, pedge = mesh
+    d = op2.Dat(nodes, 1)
+    with pytest.raises(ValueError, match="idx"):
+        d.arg(op2.READ, pedge)
+
+
+def test_arg_idx_bounds(mesh):
+    nodes, _, pedge = mesh
+    d = op2.Dat(nodes, 1)
+    with pytest.raises(ValueError, match="out of range"):
+        d.arg(op2.READ, pedge, 2)
+
+
+def test_arg_vector_shape(mesh):
+    nodes, _, pedge = mesh
+    d = op2.Dat(nodes, 3)
+    arg = d.arg(op2.READ, pedge, op2.ALL)
+    assert arg.is_vector
+    assert arg.kernel_shape() == (2, 3)
+
+
+def test_arg_map_set_mismatch(mesh):
+    nodes, edges, pedge = mesh
+    d = op2.Dat(edges, 1)
+    with pytest.raises(ValueError, match="targets set"):
+        d.arg(op2.READ, pedge, 0)
+
+
+def test_arg_rejects_minmax_on_dat(mesh):
+    nodes, _, _ = mesh
+    d = op2.Dat(nodes, 1)
+    with pytest.raises(ValueError, match="reserved for Globals"):
+        d.arg(op2.MIN)
+
+
+def test_arg_indirect_rw_rejected(mesh):
+    nodes, edges, pedge = mesh
+    d = op2.Dat(nodes, 1)
+    arg = d.arg(op2.RW, pedge, 0)
+    with pytest.raises(ValueError, match="order-dependent"):
+        arg.validate_for(edges)
+
+
+def test_arg_direct_wrong_set(mesh):
+    nodes, edges, _ = mesh
+    d = op2.Dat(nodes, 1)
+    with pytest.raises(ValueError, match="direct arg"):
+        d.arg(op2.READ).validate_for(edges)
+
+
+def test_global_arg_access_restrictions():
+    g = op2.Global(1, 0.0)
+    g.arg(op2.READ)
+    g.arg(op2.INC)
+    with pytest.raises(ValueError):
+        g.arg(op2.WRITE)

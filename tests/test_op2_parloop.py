@@ -1,0 +1,291 @@
+"""par_loop execution semantics across all serial backends.
+
+Every test runs under every backend via parametrization — backend
+equivalence is the paper's portability claim turned into an invariant.
+"""
+
+import numpy as np
+import pytest
+
+from repro import op2
+
+BACKENDS = ["sequential", "vectorized", "coloring", "atomics",
+            "blockcolor"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def make_ring(n=10):
+    """Ring mesh: n nodes, n edges, edge i connects node i and i+1 mod n."""
+    nodes = op2.Set(n, "nodes")
+    edges = op2.Set(n, "edges")
+    table = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+    pedge = op2.Map(edges, nodes, 2, table, "pedge")
+    return nodes, edges, pedge
+
+
+def test_direct_loop_saxpy(backend):
+    nodes = op2.Set(5, "nodes")
+    x = op2.Dat(nodes, 1, data=np.arange(5.0))
+    y = op2.Dat(nodes, 1, data=np.ones(5))
+    alpha = op2.Global(1, 2.0, "alpha")
+
+    def saxpy(xv, yv, a):
+        yv[0] = a[0] * xv[0] + yv[0]
+
+    op2.par_loop(op2.Kernel(saxpy), nodes,
+                 x.arg(op2.READ), y.arg(op2.RW), alpha.arg(op2.READ),
+                 backend=backend)
+    np.testing.assert_allclose(y.data[:, 0], 2.0 * np.arange(5.0) + 1.0)
+
+
+def test_indirect_inc_gather_neighbours(backend):
+    nodes, edges, pedge = make_ring(8)
+    val = op2.Dat(nodes, 1, data=np.arange(8.0))
+    acc = op2.Dat(nodes, 1)
+
+    def spread(v1, v2, a1, a2):
+        a1[0] += v2[0]
+        a2[0] += v1[0]
+
+    op2.par_loop(op2.Kernel(spread), edges,
+                 val.arg(op2.READ, pedge, 0), val.arg(op2.READ, pedge, 1),
+                 acc.arg(op2.INC, pedge, 0), acc.arg(op2.INC, pedge, 1),
+                 backend=backend)
+    expect = np.roll(np.arange(8.0), 1) + np.roll(np.arange(8.0), -1)
+    np.testing.assert_allclose(acc.data[:, 0], expect)
+
+
+def test_indirect_inc_accumulates_on_existing(backend):
+    nodes, edges, pedge = make_ring(6)
+    acc = op2.Dat(nodes, 1, data=np.full(6, 10.0))
+
+    def bump(a1):
+        a1[0] += 1.0
+
+    op2.par_loop(op2.Kernel(bump), edges, acc.arg(op2.INC, pedge, 0),
+                 backend=backend)
+    np.testing.assert_allclose(acc.data[:, 0], 11.0)
+
+
+def test_multidim_dats(backend):
+    nodes, edges, pedge = make_ring(5)
+    x = op2.Dat(nodes, 2, data=np.stack([np.arange(5.0), -np.arange(5.0)], axis=1))
+    r = op2.Dat(nodes, 2)
+
+    def diff(x1, x2, r1, r2):
+        dx = x2[0] - x1[0]
+        dy = x2[1] - x1[1]
+        r1[0] += dx
+        r1[1] += dy
+        r2[0] -= dx
+        r2[1] -= dy
+
+    op2.par_loop(op2.Kernel(diff), edges,
+                 x.arg(op2.READ, pedge, 0), x.arg(op2.READ, pedge, 1),
+                 r.arg(op2.INC, pedge, 0), r.arg(op2.INC, pedge, 1),
+                 backend=backend)
+    # interior contributions cancel except at the wrap-around edge
+    assert abs(r.data[:, 0].sum()) < 1e-12
+    assert abs(r.data[:, 1].sum()) < 1e-12
+
+
+def test_global_sum_reduction(backend):
+    nodes = op2.Set(7, "nodes")
+    x = op2.Dat(nodes, 1, data=np.arange(7.0))
+    total = op2.Global(1, 100.0, "total")
+
+    def sq(xv, t):
+        t[0] += xv[0] * xv[0]
+
+    op2.par_loop(op2.Kernel(sq), nodes, x.arg(op2.READ), total.arg(op2.INC),
+                 backend=backend)
+    assert total.value == pytest.approx(100.0 + float((np.arange(7.0) ** 2).sum()))
+
+
+def test_global_min_max_reduction(backend):
+    nodes = op2.Set(6, "nodes")
+    x = op2.Dat(nodes, 1, data=np.array([3.0, -1.0, 4.0, 1.5, 9.0, 2.0]))
+    lo = op2.Global(1, np.inf, "lo")
+    hi = op2.Global(1, -np.inf, "hi")
+
+    def minmax(xv, l, h):
+        l[0] = min(l[0], xv[0])
+        h[0] = max(h[0], xv[0])
+
+    op2.par_loop(op2.Kernel(minmax), nodes,
+                 x.arg(op2.READ), lo.arg(op2.MIN), hi.arg(op2.MAX),
+                 backend=backend)
+    assert lo.value == -1.0
+    assert hi.value == 9.0
+
+
+def test_vector_map_arg_read(backend):
+    nodes, edges, pedge = make_ring(6)
+    x = op2.Dat(nodes, 1, data=np.arange(6.0))
+    mid = op2.Dat(edges, 1)
+
+    def midpoint(xs, m):
+        m[0] = 0.5 * (xs[0, 0] + xs[1, 0])
+
+    op2.par_loop(op2.Kernel(midpoint), edges,
+                 x.arg(op2.READ, pedge, op2.ALL), mid.arg(op2.WRITE),
+                 backend=backend)
+    expect = 0.5 * (np.arange(6.0) + np.roll(np.arange(6.0), -1))
+    np.testing.assert_allclose(mid.data[:, 0], expect)
+
+
+def test_vector_map_arg_inc(backend):
+    nodes, edges, pedge = make_ring(6)
+    acc = op2.Dat(nodes, 1)
+
+    def scatter(a):
+        a[0, 0] += 1.0
+        a[1, 0] += 2.0
+
+    op2.par_loop(op2.Kernel(scatter), edges, acc.arg(op2.INC, pedge, op2.ALL),
+                 backend=backend)
+    # each node is endpoint 0 of one edge (+1) and endpoint 1 of another (+2)
+    np.testing.assert_allclose(acc.data[:, 0], 3.0)
+
+
+def test_conditional_expression(backend):
+    nodes = op2.Set(5, "nodes")
+    x = op2.Dat(nodes, 1, data=np.array([-2.0, -1.0, 0.0, 1.0, 2.0]))
+    y = op2.Dat(nodes, 1)
+
+    def relu(xv, yv):
+        yv[0] = xv[0] if xv[0] > 0.0 else 0.0
+
+    op2.par_loop(op2.Kernel(relu), nodes, x.arg(op2.READ), y.arg(op2.WRITE),
+                 backend=backend)
+    np.testing.assert_allclose(y.data[:, 0], [0, 0, 0, 1, 2])
+
+
+def test_math_calls(backend):
+    nodes = op2.Set(4, "nodes")
+    x = op2.Dat(nodes, 1, data=np.array([1.0, 4.0, 9.0, 16.0]))
+    y = op2.Dat(nodes, 1)
+
+    def f(xv, yv):
+        yv[0] = sqrt(xv[0]) + fabs(-xv[0])  # noqa: F821 - kernel language
+
+    op2.par_loop(op2.Kernel(f), nodes, x.arg(op2.READ), y.arg(op2.WRITE),
+                 backend=backend)
+    np.testing.assert_allclose(y.data[:, 0], [2.0, 6.0, 12.0, 20.0])
+
+
+def test_unrolled_range_loop(backend):
+    nodes = op2.Set(3, "nodes")
+    x = op2.Dat(nodes, 4, data=np.arange(12.0).reshape(3, 4))
+    s = op2.Dat(nodes, 1)
+
+    def rowsum(xv, sv):
+        for i in range(4):
+            sv[0] += xv[i]
+
+    op2.par_loop(op2.Kernel(rowsum), nodes, x.arg(op2.READ), s.arg(op2.INC),
+                 backend=backend)
+    np.testing.assert_allclose(s.data[:, 0], x.data_ro.sum(axis=1))
+
+
+def test_two_globals_same_loop(backend):
+    nodes = op2.Set(5, "nodes")
+    x = op2.Dat(nodes, 1, data=np.arange(5.0))
+    s = op2.Global(1, 0.0)
+    c = op2.Global(1, 0.0)
+
+    def stats(xv, sv, cv):
+        sv[0] += xv[0]
+        cv[0] += 1.0
+
+    op2.par_loop(op2.Kernel(stats), nodes,
+                 x.arg(op2.READ), s.arg(op2.INC), c.arg(op2.INC),
+                 backend=backend)
+    assert s.value == 10.0
+    assert c.value == 5.0
+
+
+def test_empty_set_loop(backend):
+    nodes = op2.Set(0, "nodes")
+    x = op2.Dat(nodes, 1)
+    g = op2.Global(1, 7.0)
+
+    def k(xv, gv):
+        gv[0] += xv[0]
+
+    op2.par_loop(op2.Kernel(k), nodes, x.arg(op2.READ), g.arg(op2.INC),
+                 backend=backend)
+    assert g.value == 7.0
+
+
+def test_arg_count_mismatch():
+    nodes = op2.Set(3, "nodes")
+    x = op2.Dat(nodes, 1)
+
+    def k(a, b):
+        a[0] = b[0]
+
+    with pytest.raises(ValueError, match="parameters"):
+        op2.par_loop(op2.Kernel(k), nodes, x.arg(op2.READ))
+
+
+def test_unknown_backend():
+    nodes = op2.Set(3, "nodes")
+    x = op2.Dat(nodes, 1)
+
+    def k(a):
+        a[0] = 1.0
+
+    with pytest.raises(ValueError, match="unknown backend"):
+        op2.par_loop(op2.Kernel(k), nodes, x.arg(op2.WRITE), backend="cuda")
+
+
+def test_power_operator(backend):
+    nodes = op2.Set(4, "nodes")
+    x = op2.Dat(nodes, 1, data=np.array([1.0, 2.0, 3.0, 4.0]))
+    y = op2.Dat(nodes, 1)
+
+    def cube(xv, yv):
+        yv[0] = xv[0] ** 3
+
+    op2.par_loop(op2.Kernel(cube), nodes, x.arg(op2.READ), y.arg(op2.WRITE),
+                 backend=backend)
+    np.testing.assert_allclose(y.data_ro[:, 0], [1.0, 8.0, 27.0, 64.0])
+
+
+def test_float32_dats(backend):
+    nodes, edges, pedge = make_ring(6)
+    val = op2.Dat(nodes, 1, data=np.arange(6, dtype=np.float32),
+                  dtype=np.float32)
+    acc = op2.Dat(nodes, 1, dtype=np.float32)
+    assert acc.dtype == np.float32
+
+    def spread(v1, v2, a1, a2):
+        a1[0] += v2[0]
+        a2[0] += v1[0]
+
+    op2.par_loop(op2.Kernel(spread), edges,
+                 val.arg(op2.READ, pedge, 0), val.arg(op2.READ, pedge, 1),
+                 acc.arg(op2.INC, pedge, 0), acc.arg(op2.INC, pedge, 1),
+                 backend=backend)
+    expect = np.roll(np.arange(6.0), 1) + np.roll(np.arange(6.0), -1)
+    np.testing.assert_allclose(acc.data_ro[:, 0], expect)
+    assert acc.data_ro.dtype == np.float32
+
+
+def test_nested_conditional_expressions(backend):
+    """elif chains as nested IfExp (the vectorizer nests np.where)."""
+    nodes = op2.Set(5, "nodes")
+    x = op2.Dat(nodes, 1, data=np.array([-2.0, -0.5, 0.0, 0.5, 2.0]))
+    y = op2.Dat(nodes, 1)
+
+    def clamp(xv, yv):
+        yv[0] = -1.0 if xv[0] < -1.0 else (1.0 if xv[0] > 1.0 else xv[0])
+
+    op2.par_loop(op2.Kernel(clamp), nodes, x.arg(op2.READ), y.arg(op2.WRITE),
+                 backend=backend)
+    np.testing.assert_allclose(y.data_ro[:, 0], [-1.0, -0.5, 0.0, 0.5, 1.0])

@@ -1,0 +1,269 @@
+"""Performance model: paper anchors and shape constraints.
+
+The model must reproduce the paper's solid anchor numbers within
+tolerance AND satisfy the qualitative shape claims (who wins, by
+roughly what factor, where crossovers fall). These tests ARE the
+reproduction contract for Tables II-IV and Figures 7-9.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    ARCHER1,
+    ARCHER2,
+    CIRRUS,
+    HASWELL_PROD,
+    P430M,
+    P458B,
+    P653M,
+    PerfModel,
+    RunOptions,
+    power_equivalent_nodes,
+)
+from repro.perf.scaling import (
+    figure7_430m,
+    figure8_653m,
+    figure9_458b,
+    node_to_node_speedup,
+    power_equivalent_speedup,
+)
+from repro.perf.tables import (
+    table2_search,
+    table3_comm_optimizations,
+    table4_time_to_solution,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerfModel()
+
+
+class TestHeadlineAnchors:
+    """Table IV achieved numbers."""
+
+    def test_grand_challenge_under_6_hours(self, model):
+        hours = model.hours_per_revolution(P458B, ARCHER2, 512)
+        assert hours == pytest.approx(5.5, rel=0.10)
+        assert hours < 6.0  # the paper's headline claim
+
+    def test_458b_step_times(self, model):
+        for nodes, hours in [(166, 14.5), (256, 9.4), (512, 5.5)]:
+            got = model.hours_per_revolution(P458B, ARCHER2, nodes)
+            assert got == pytest.approx(hours, rel=0.10), nodes
+
+    def test_458b_scaling_efficiency(self, model):
+        eff = model.parallel_efficiency(P458B, ARCHER2, 107, 512)
+        assert eff == pytest.approx(0.82, abs=0.10)
+        assert eff > 0.75  # the paper's scaling-quality bar
+
+    def test_cirrus_653m_step_time(self, model):
+        t = model.time_per_step(P653M, CIRRUS, 17)
+        assert t == pytest.approx(7.1, rel=0.10)
+
+    def test_cirrus_projection_458b(self, model):
+        """Projected 4.58B on 122 Cirrus nodes: 7.8-8.5 s/step, <5 h/rev."""
+        t = model.time_per_step(P458B, CIRRUS, 122)
+        assert 7.0 < t < 9.0
+        assert model.hours_per_revolution(P458B, CIRRUS, 122) < 5.0
+
+    def test_cirrus_beats_power_equivalent_archer2_3x(self, model):
+        s = power_equivalent_speedup(model, P653M, 20)
+        assert 3.0 < s < 4.0  # paper: 3.3-3.4x
+        s = power_equivalent_speedup(model, P430M, 20)
+        assert 3.3 < s < 4.4  # paper: 3.75-3.95x
+
+    def test_cirrus_node_to_node_speedup(self, model):
+        assert 4.0 < node_to_node_speedup(model, P653M, 20) < 5.5
+        assert 4.2 < node_to_node_speedup(model, P430M, 20) < 6.0
+
+    def test_order_of_magnitude_vs_production(self, model):
+        """~30x speedup over current production capability."""
+        mono = RunOptions(mode="monolithic")
+        production = model.hours_per_revolution(P458B, ARCHER1,
+                                                100_000 // 24, mono)
+        ours = model.hours_per_revolution(P458B, ARCHER2, 512)
+        assert 20 < production / ours < 60
+
+    def test_production_monolithic_anchors(self, model):
+        mono = RunOptions(mode="monolithic")
+        t = model.time_per_step(P458B, HASWELL_PROD, 8000 // 24, mono)
+        assert t == pytest.approx(2000.0, rel=0.10)
+        days = model.hours_per_revolution(P458B, ARCHER1, 100_000 // 24,
+                                          mono) / 24
+        assert days == pytest.approx(9.0, rel=0.10)
+
+
+class TestShapeConstraints:
+    def test_wait_fraction_grows_with_nodes(self, model):
+        for problem, lo, hi in [(P458B, 107, 512), (P430M, 10, 82),
+                                (P653M, 15, 80)]:
+            f_lo = model.breakdown(problem, ARCHER2, lo).wait_fraction
+            f_hi = model.breakdown(problem, ARCHER2, hi).wait_fraction
+            assert f_hi > f_lo, problem.name
+            assert 0.01 < f_lo < 0.25
+            assert f_hi < 0.40
+
+    def test_efficiency_decreases_with_scale(self, model):
+        effs = [model.parallel_efficiency(P458B, ARCHER2, 107, n)
+                for n in (166, 256, 362, 512)]
+        assert all(e2 <= e1 + 1e-9 for e1, e2 in zip(effs, effs[1:]))
+        assert effs[-1] > 0.70
+
+    def test_monolithic_always_slower_than_coupled(self, model):
+        mono = RunOptions(mode="monolithic")
+        for problem in (P430M, P458B):
+            for nodes in (8, 32, 128, 512):
+                t_m = model.time_per_step(problem, ARCHER2, nodes, mono)
+                t_c = model.time_per_step(problem, ARCHER2, nodes)
+                assert t_m > t_c, (problem.name, nodes)
+
+    def test_monolithic_gap_widens_with_scale(self, model):
+        mono = RunOptions(mode="monolithic")
+        r_small = (model.time_per_step(P458B, ARCHER2, 32, mono)
+                   / model.time_per_step(P458B, ARCHER2, 32))
+        r_big = (model.time_per_step(P458B, ARCHER2, 512, mono)
+                 / model.time_per_step(P458B, ARCHER2, 512))
+        assert r_big > 2 * r_small
+
+    def test_adt_beats_bruteforce_and_gap_grows_with_interface(self, model):
+        opts = RunOptions().resolved(ARCHER2)
+        for problem in (P430M, P653M, P458B):
+            bf = model.coupler_serve_time(problem, ARCHER2, 27, opts,
+                                          search="bruteforce")
+            adt = model.coupler_serve_time(problem, ARCHER2, 27, opts,
+                                           search="adt")
+            assert adt < bf
+        gap_430 = (model.coupler_serve_time(P430M, ARCHER2, 27, opts,
+                                            search="bruteforce")
+                   / model.coupler_serve_time(P430M, ARCHER2, 27, opts,
+                                              search="adt"))
+        gap_458 = (model.coupler_serve_time(P458B, ARCHER2, 27, opts,
+                                            search="bruteforce")
+                   / model.coupler_serve_time(P458B, ARCHER2, 27, opts,
+                                              search="adt"))
+        assert gap_458 > gap_430
+
+    def test_cu_sweep_has_diminishing_returns(self, model):
+        """More CUs shrink the search but the communication term rises:
+        the serve time must eventually flatten or grow (Table II)."""
+        opts = RunOptions().resolved(ARCHER2)
+        times = [model.coupler_serve_time(P430M, ARCHER2, 27, opts,
+                                          cus_total=n, search="adt")
+                 for n in (10, 30, 90, 270, 810)]
+        assert times[1] < times[0]          # early gains
+        assert times[-1] > min(times)       # eventual rise
+
+    def test_ph_gain_in_paper_band(self, model):
+        t_off = model.time_per_step(P430M, ARCHER2, 10,
+                                    RunOptions(partial_halos=False))
+        t_on = model.time_per_step(P430M, ARCHER2, 10)
+        gain = 1 - t_on / t_off
+        assert 0.02 < gain < 0.10  # paper: 5-7%
+
+    def test_gpu_opt_gain_in_paper_band(self, model):
+        t_def = model.time_per_step(
+            P430M, CIRRUS, 15,
+            RunOptions(partial_halos=False, grouped_halos=False,
+                       gpu_gather=False))
+        t_opt = model.time_per_step(P430M, CIRRUS, 15)
+        reduction = 1 - t_opt / t_def
+        assert 0.55 < reduction < 0.75  # paper: 60-70%
+
+
+class TestMachinery:
+    def test_power_equivalence(self):
+        # paper: Cirrus counts = ARCHER2 counts / 1.36
+        assert power_equivalent_nodes(34, ARCHER2, CIRRUS) == 25
+        assert power_equivalent_nodes(27, ARCHER2, CIRRUS) == 20
+        assert power_equivalent_nodes(166, ARCHER2, CIRRUS) == 122
+        with pytest.raises(ValueError):
+            power_equivalent_nodes(0, ARCHER2, CIRRUS)
+
+    def test_power_ratio(self):
+        assert CIRRUS.node_power_w / ARCHER2.node_power_w == pytest.approx(
+            1.36, abs=0.01)
+
+    def test_unknown_mode_rejected(self, model):
+        with pytest.raises(ValueError, match="unknown mode"):
+            model.breakdown(P430M, ARCHER2, 10, RunOptions(mode="hybrid"))
+
+    def test_unknown_search_rejected(self, model):
+        opts = RunOptions().resolved(ARCHER2)
+        with pytest.raises(ValueError, match="unknown search"):
+            model.coupler_serve_time(P430M, ARCHER2, 10, opts,
+                                     search="linear")
+
+    def test_breakdown_components_positive(self, model):
+        bd = model.breakdown(P458B, ARCHER2, 256)
+        assert bd.compute > 0 and bd.halo >= 0 and bd.wait > 0
+        assert bd.total == pytest.approx(bd.compute + bd.halo + bd.wait)
+
+
+class TestTableGenerators:
+    def test_table2_structure(self, model):
+        t = table2_search(model)
+        assert len(t.rows) == 5
+        for row in t.rows:
+            assert row[1] > row[2]  # BF > ADT everywhere
+
+    def test_table3_gains_positive(self, model):
+        t = table3_comm_optimizations(model)
+        for row in t.rows:
+            assert row[5] > 0  # every optimization gains
+
+    def test_table4_contains_headline(self, model):
+        t = table4_time_to_solution(model)
+        t512 = [r for r in t.rows
+                if r[3] == 512 and r[0] == P458B.name][0]
+        assert t512[4] < 6.0
+
+    def test_figures_have_monotone_times(self, model):
+        for fig in (figure7_430m(model), figure8_653m(model),
+                    figure9_458b(model)):
+            for series in fig.series:
+                times = [p.seconds_per_step for p in series.points]
+                assert all(t2 < t1 for t1, t2 in zip(times, times[1:])), \
+                    (fig.problem, series.machine)
+
+    def test_figure7_cirrus_faster_than_archer2(self, model):
+        fig = figure7_430m(model)
+        a2 = {p.nodes: p.seconds_per_step
+              for p in fig.by_machine("ARCHER2").points}
+        cir = {p.nodes: p.seconds_per_step
+               for p in fig.by_machine("Cirrus").points}
+        # Cirrus 25 nodes ~ ARCHER2 34 nodes by power: must be >3x faster
+        assert a2[34] / cir[25] > 3.0
+
+
+class TestMemoryFeasibility:
+    """Paper §IV-A3: GPU memory limits what Cirrus can hold."""
+
+    def test_458b_needs_122_cirrus_nodes(self, model):
+        assert model.min_nodes(P458B, CIRRUS) == 122
+
+    def test_653m_fits_at_its_benchmark_size(self, model):
+        assert model.min_nodes(P653M, CIRRUS) == 17
+        assert model.fits(P653M, CIRRUS, 17)
+        assert not model.fits(P653M, CIRRUS, 16)
+
+    def test_full_cirrus_cannot_hold_458b(self, model):
+        """The paper could not run 4.58B on the 36-node Cirrus."""
+        assert not model.fits(P458B, CIRRUS, 36)
+        with pytest.raises(ValueError, match="minimum 122 nodes"):
+            model.breakdown(P458B, CIRRUS, 36)
+
+    def test_cpu_machines_unconstrained(self, model):
+        assert model.min_nodes(P458B, ARCHER2) == 1
+
+
+class TestCsvExport:
+    def test_scaling_csv(self, model):
+        from repro.perf.scaling import figure9_458b, to_csv
+
+        text = to_csv(figure9_458b(model))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("machine,nodes,")
+        assert len(lines) == 6  # header + 5 points
+        assert all(line.startswith("ARCHER2,") for line in lines[1:])

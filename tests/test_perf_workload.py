@@ -1,0 +1,44 @@
+"""Workload characterization of real coupled runs."""
+
+import pytest
+
+from repro.coupler import CoupledDriver, CoupledRunConfig
+from repro.hydra import FlowState, Numerics
+from repro.mesh import rig250_config
+from repro.perf import characterize
+
+
+@pytest.fixture(scope="module")
+def run():
+    rig = rig250_config(nr=3, nt=12, nx=4, rows=3, steps_per_revolution=64)
+    cfg = CoupledRunConfig(rig=rig, ranks_per_row=2, cus_per_interface=1,
+                           numerics=Numerics(inner_iters=2),
+                           inlet=FlowState(ux=0.5), p_out=1.0)
+    return rig, CoupledDriver(cfg).run(4)
+
+
+def test_trace_fields_sane(run):
+    rig, result = run
+    trace = characterize(result, rig)
+    assert trace.steps == 4
+    assert trace.mesh_nodes == rig.total_nodes
+    assert trace.interfaces == 2
+    assert trace.seconds_per_step > 0
+    assert 0 <= trace.wait_fraction < 1
+    assert trace.halo_messages_per_step > 0
+    assert trace.coupler_bytes_per_step > 0
+    assert trace.search_misses == 0
+
+
+def test_queries_match_interface_size(run):
+    """Every coupling round queries both halo grids of each interface."""
+    rig, result = run
+    trace = characterize(result, rig)
+    per_round = 2 * rig.n_interfaces * rig.rows[0].nr * rig.rows[0].nt
+    assert trace.queries_per_step == pytest.approx(per_round)
+
+
+def test_rows_render(run):
+    rig, result = run
+    rows = characterize(result, rig).rows()
+    assert len(rows) == 12

@@ -1,0 +1,236 @@
+"""Collective operations and communicator splitting."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import SimMPIError, run_ranks
+
+
+def test_barrier_completes():
+    assert run_ranks(4, lambda comm: comm.barrier()) == [None] * 4
+
+
+def test_bcast_object():
+    def fn(comm):
+        data = {"k": [1, 2, 3]} if comm.rank == 0 else None
+        return comm.bcast(data, root=0)
+
+    out = run_ranks(3, fn)
+    assert all(v == {"k": [1, 2, 3]} for v in out)
+
+
+def test_bcast_nonzero_root():
+    def fn(comm):
+        data = "payload" if comm.rank == 2 else None
+        return comm.bcast(data, root=2)
+
+    assert run_ranks(3, fn) == ["payload"] * 3
+
+
+def test_bcast_copies_arrays():
+    def fn(comm):
+        data = np.zeros(4) if comm.rank == 0 else None
+        got = comm.bcast(data, root=0)
+        got += comm.rank  # mutation must stay rank-local
+        comm.barrier()
+        return got.sum()
+
+    assert run_ranks(3, fn) == [0.0, 4.0, 8.0]
+
+
+def test_gather():
+    def fn(comm):
+        return comm.gather(comm.rank**2, root=1)
+
+    out = run_ranks(3, fn)
+    assert out[0] is None and out[2] is None
+    assert out[1] == [0, 1, 4]
+
+
+def test_allgather():
+    out = run_ranks(4, lambda comm: comm.allgather(comm.rank + 1))
+    assert out == [[1, 2, 3, 4]] * 4
+
+
+def test_scatter():
+    def fn(comm):
+        objs = [10, 20, 30] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    assert run_ranks(3, fn) == [10, 20, 30]
+
+
+def test_scatter_wrong_length_raises():
+    def fn(comm):
+        objs = [1] if comm.rank == 0 else None
+        return comm.scatter(objs, root=0)
+
+    with pytest.raises(SimMPIError, match="scatter root"):
+        run_ranks(2, fn)
+
+
+def test_allreduce_sum_scalars():
+    assert run_ranks(4, lambda comm: comm.allreduce(comm.rank, "sum")) == [6] * 4
+
+
+def test_allreduce_min_max():
+    out = run_ranks(3, lambda comm: (comm.allreduce(comm.rank, "min"),
+                                     comm.allreduce(comm.rank, "max")))
+    assert out == [(0, 2)] * 3
+
+
+def test_allreduce_arrays():
+    def fn(comm):
+        return comm.allreduce(np.full(3, float(comm.rank)), "sum")
+
+    for arr in run_ranks(3, fn):
+        np.testing.assert_array_equal(arr, np.full(3, 3.0))
+
+
+def test_allreduce_custom_op():
+    def fn(comm):
+        return comm.allreduce(comm.rank + 2, op=lambda a, b: a * b)
+
+    assert run_ranks(3, fn) == [24] * 3
+
+
+def test_allreduce_unknown_op_raises():
+    with pytest.raises(SimMPIError, match="unknown reduce op"):
+        run_ranks(2, lambda comm: comm.allreduce(1, "median"))
+
+
+def test_reduce_root_only():
+    out = run_ranks(3, lambda comm: comm.reduce(comm.rank, "sum", root=0))
+    assert out == [3, None, None]
+
+
+def test_alltoall():
+    def fn(comm):
+        return comm.alltoall([comm.rank * 10 + d for d in range(comm.size)])
+
+    out = run_ranks(3, fn)
+    # rank r receives element r from every source
+    assert out[0] == [0, 10, 20]
+    assert out[1] == [1, 11, 21]
+    assert out[2] == [2, 12, 22]
+
+
+def test_repeated_collectives_do_not_interleave():
+    def fn(comm):
+        acc = []
+        for i in range(10):
+            acc.append(comm.allreduce(comm.rank + i, "sum"))
+        return acc
+
+    out = run_ranks(3, fn)
+    want = [3 * i + 3 for i in range(10)]
+    assert out == [want] * 3
+
+
+def test_split_two_groups():
+    def fn(comm):
+        color = comm.rank % 2
+        sub = comm.split(color)
+        total = sub.allreduce(comm.rank, "sum")
+        return (color, sub.rank, sub.size, total)
+
+    out = run_ranks(4, fn)
+    assert out[0] == (0, 0, 2, 2)   # ranks 0,2 -> sum 2
+    assert out[1] == (1, 0, 2, 4)   # ranks 1,3 -> sum 4
+    assert out[2] == (0, 1, 2, 2)
+    assert out[3] == (1, 1, 2, 4)
+
+
+def test_split_with_undefined_color():
+    def fn(comm):
+        sub = comm.split(0 if comm.rank < 2 else -1)
+        if sub is None:
+            return "out"
+        return sub.size
+
+    assert run_ranks(4, fn) == [2, 2, "out", "out"]
+
+
+def test_split_key_reorders_ranks():
+    def fn(comm):
+        sub = comm.split(0, key=-comm.rank)  # reverse order
+        return sub.rank
+
+    assert run_ranks(3, fn) == [2, 1, 0]
+
+
+def test_nested_split():
+    def fn(comm):
+        half = comm.split(comm.rank // 2)
+        quarter = half.split(half.rank)
+        return (half.size, quarter.size)
+
+    assert run_ranks(4, fn) == [(2, 1)] * 4
+
+
+def test_world_rank_preserved_through_split():
+    def fn(comm):
+        sub = comm.split(comm.rank % 2)
+        return sub.world_rank
+
+    assert run_ranks(4, fn) == [0, 1, 2, 3]
+
+
+def test_p2p_within_subcommunicator():
+    def fn(comm):
+        sub = comm.split(comm.rank // 2)
+        if sub.rank == 0:
+            sub.send(f"hello from world {comm.rank}", dest=1)
+            return None
+        return sub.recv(source=0)
+
+    out = run_ranks(4, fn)
+    assert out[1] == "hello from world 0"
+    assert out[3] == "hello from world 2"
+
+
+def test_traffic_accounting():
+    def fn(comm):
+        comm.set_phase("halo")
+        if comm.rank == 0:
+            comm.send(np.zeros(100), dest=1)  # 800 bytes
+        else:
+            comm.recv(source=0)
+        comm.barrier()
+        return None
+
+    from repro.smpi import Traffic
+
+    traffic = Traffic()
+    run_ranks(2, fn, traffic=traffic)
+    assert traffic.total_messages("halo") == 1
+    assert traffic.total_nbytes("halo") == 800
+    by_phase = traffic.by_phase()
+    assert by_phase["halo"]["messages"] == 1
+
+
+class TestPayloadSizing:
+    def test_payload_nbytes_variants(self):
+        from repro.smpi.traffic import payload_nbytes
+
+        assert payload_nbytes(np.zeros(10)) == 80
+        assert payload_nbytes(np.zeros(10, dtype=np.float32)) == 40
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("hello") == 5
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(None) == 8
+        # containers: parts plus per-item headers
+        t = (np.zeros(4), np.zeros(4))
+        assert payload_nbytes(t) == 2 * (32 + 8)
+        d = {"a": 1}
+        assert payload_nbytes(d) > 8
+
+    def test_traffic_reset(self):
+        from repro.smpi import Traffic
+
+        tr = Traffic()
+        tr.record(0, 1, 100)
+        assert tr.total_nbytes() == 100
+        tr.reset()
+        assert tr.total_nbytes() == 0
+        assert tr.records() == []

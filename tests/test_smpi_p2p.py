@@ -1,0 +1,172 @@
+"""Point-to-point semantics of the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.smpi import ANY_SOURCE, ANY_TAG, SimMPIError, run_ranks
+
+
+def test_single_rank_runs():
+    assert run_ranks(1, lambda comm: comm.rank) == [0]
+
+
+def test_ranks_and_size():
+    out = run_ranks(4, lambda comm: (comm.rank, comm.size))
+    assert out == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+def test_send_recv_roundtrip():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        return comm.recv(source=0, tag=11)
+
+    out = run_ranks(2, fn)
+    assert out[1] == {"a": 7, "b": 3.14}
+
+
+def test_send_copies_numpy_buffers():
+    """Mutating the send buffer after send must not affect the receiver."""
+
+    def fn(comm):
+        if comm.rank == 0:
+            buf = np.arange(10.0)
+            comm.send(buf, dest=1)
+            buf[:] = -1.0
+            comm.barrier()
+            return None
+        comm.barrier()
+        return comm.recv(source=0)
+
+    out = run_ranks(2, fn)
+    np.testing.assert_array_equal(out[1], np.arange(10.0))
+
+
+def test_tag_matching_out_of_order():
+    """A recv on tag 2 must skip an earlier tag-1 message."""
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("first", dest=1, tag=1)
+            comm.send("second", dest=1, tag=2)
+            return None
+        second = comm.recv(source=0, tag=2)
+        first = comm.recv(source=0, tag=1)
+        return (first, second)
+
+    out = run_ranks(2, fn)
+    assert out[1] == ("first", "second")
+
+
+def test_fifo_order_same_source_tag():
+    def fn(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, dest=1, tag=7)
+            return None
+        return [comm.recv(source=0, tag=7) for _ in range(5)]
+
+    assert run_ranks(2, fn)[1] == [0, 1, 2, 3, 4]
+
+
+def test_any_source_any_tag():
+    def fn(comm):
+        if comm.rank == 0:
+            got = [comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(2)]
+            return sorted(got)
+        comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+        return None
+
+    assert run_ranks(3, fn)[0] == [10, 20]
+
+
+def test_recv_status_reports_source_and_tag():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("x", dest=1, tag=42)
+            return None
+        return comm.recv_status(source=ANY_SOURCE, tag=ANY_TAG)
+
+    payload, src, tag = run_ranks(2, fn)[1]
+    assert (payload, src, tag) == ("x", 0, 42)
+
+
+def test_isend_irecv():
+    def fn(comm):
+        if comm.rank == 0:
+            req = comm.isend(np.ones(3), dest=1)
+            req.wait()
+            return None
+        req = comm.irecv(source=0)
+        return req.wait()
+
+    np.testing.assert_array_equal(run_ranks(2, fn)[1], np.ones(3))
+
+
+def test_probe():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(1, dest=1, tag=5)
+            comm.barrier()
+            return None
+        comm.barrier()
+        has5 = comm.probe(source=0, tag=5)
+        has6 = comm.probe(source=0, tag=6)
+        comm.recv(source=0, tag=5)
+        return (has5, has6)
+
+    assert run_ranks(2, fn)[1] == (True, False)
+
+
+def test_sendrecv_head_on_exchange():
+    def fn(comm):
+        other = 1 - comm.rank
+        return comm.sendrecv(comm.rank, dest=other, source=other)
+
+    assert run_ranks(2, fn) == [1, 0]
+
+
+def test_deadlock_detection():
+    def fn(comm):
+        comm.recv(source=0)  # nobody sends
+
+    with pytest.raises(SimMPIError, match="timed out"):
+        run_ranks(2, fn, timeout=0.3)
+
+
+def test_exception_propagates_and_aborts_peers():
+    def fn(comm):
+        if comm.rank == 0:
+            raise ValueError("rank 0 exploded")
+        comm.recv(source=0)  # would deadlock without the abort
+
+    with pytest.raises(ValueError, match="rank 0 exploded"):
+        run_ranks(2, fn, timeout=30.0)
+
+
+def test_send_dest_out_of_range():
+    def fn(comm):
+        comm.send(1, dest=5)
+
+    with pytest.raises(SimMPIError, match="out of range"):
+        run_ranks(2, fn)
+
+
+def test_zero_ranks_rejected():
+    with pytest.raises(ValueError):
+        run_ranks(0, lambda comm: None)
+
+
+def test_waitall():
+    from repro.smpi import waitall
+
+    def fn(comm):
+        if comm.rank == 0:
+            for i in range(3):
+                comm.send(i * 10, dest=1, tag=i)
+            return None
+        reqs = [comm.irecv(source=0, tag=i) for i in range(3)]
+        return waitall(reqs)
+
+    assert run_ranks(2, fn)[1] == [0, 10, 20]

@@ -1,0 +1,74 @@
+"""Hypothesis properties of the simulated MPI collectives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smpi import run_ranks
+
+
+@given(st.integers(1, 6),
+       st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_allreduce_sum_matches_numpy(nranks, values):
+    """allreduce('sum') of per-rank arrays equals the numpy sum."""
+    base = np.array(values)
+
+    def fn(comm):
+        contribution = base * (comm.rank + 1)
+        return comm.allreduce(contribution, "sum")
+
+    expected = base * sum(range(1, nranks + 1))
+    for result in run_ranks(nranks, fn):
+        np.testing.assert_allclose(result, expected, rtol=1e-12, atol=1e-9)
+
+
+@given(st.integers(1, 6), st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_bcast_reaches_everyone(nranks, payload):
+    def fn(comm):
+        data = payload if comm.rank == 0 else None
+        return comm.bcast(data, root=0)
+
+    assert run_ranks(nranks, fn) == [payload] * nranks
+
+
+@given(st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_allgather_order(nranks):
+    out = run_ranks(nranks, lambda comm: comm.allgather(comm.rank * 7))
+    assert out == [[r * 7 for r in range(nranks)]] * nranks
+
+
+@given(st.integers(2, 6), st.integers(0, 5))
+@settings(max_examples=20, deadline=None)
+def test_ring_pass_preserves_payload(nranks, rounds):
+    """Token around the ring `rounds` times: ordering + tag sanity."""
+
+    def fn(comm):
+        token = comm.rank
+        for r in range(rounds):
+            comm.send(token, dest=(comm.rank + 1) % comm.size, tag=r)
+            token = comm.recv(source=(comm.rank - 1) % comm.size, tag=r)
+        return token
+
+    out = run_ranks(nranks, fn)
+    # after `rounds` hops, rank k holds the token started at k - rounds
+    assert out == [(k - rounds) % nranks for k in range(nranks)]
+
+
+@given(st.integers(1, 5), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_split_groups_consistent(nranks, ncolors):
+    def fn(comm):
+        color = comm.rank % ncolors
+        sub = comm.split(color)
+        members = sub.allgather(comm.rank)
+        return (color, sub.size, members)
+
+    out = run_ranks(nranks, fn)
+    for rank, (color, size, members) in enumerate(out):
+        expect = [r for r in range(nranks) if r % ncolors == color]
+        assert members == expect
+        assert size == len(expect)
+        assert rank in members

@@ -1,0 +1,133 @@
+"""Utility modules: timers, tables, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    Timer,
+    TimerRegistry,
+    check_index_array,
+    check_positive,
+    check_shape,
+    format_table,
+)
+from repro.util.validation import as_float_array, require
+
+
+class TestTimer:
+    def test_accumulates_intervals(self):
+        t = Timer("t")
+        for _ in range(3):
+            t.start()
+            time.sleep(0.005)
+            t.stop()
+        assert t.count == 3
+        assert t.elapsed >= 0.015
+        assert t.mean == pytest.approx(t.elapsed / 3)
+
+    def test_context_manager(self):
+        t = Timer("t")
+        with t:
+            time.sleep(0.002)
+        assert t.count == 1 and t.elapsed > 0
+
+    def test_double_start_rejected(self):
+        t = Timer("t").start()
+        with pytest.raises(RuntimeError, match="already running"):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Timer("t").stop()
+
+    def test_reset(self):
+        t = Timer("t")
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.count == 0
+
+
+class TestTimerRegistry:
+    def test_autocreates_timers(self):
+        reg = TimerRegistry()
+        with reg["phase"]:
+            pass
+        assert "phase" in reg
+        assert reg.elapsed("phase") > 0
+        assert reg.elapsed("missing") == 0.0
+
+    def test_merge(self):
+        regs = []
+        for scale in (1, 3):
+            reg = TimerRegistry()
+            reg["a"].elapsed = 1.0 * scale
+            regs.append(reg)
+        merged = TimerRegistry.merge(regs)
+        assert merged["a"]["min"] == 1.0
+        assert merged["a"]["max"] == 3.0
+        assert merged["a"]["mean"] == 2.0
+        assert merged["a"]["sum"] == 4.0
+
+    def test_as_dict_and_reset(self):
+        reg = TimerRegistry()
+        reg["x"].elapsed = 2.0
+        assert reg.as_dict() == {"x": 2.0}
+        reg.reset()
+        assert reg.elapsed("x") == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "v"], [["a", 1.23456], ["bb", 2.0]],
+                            floatfmt=".2f")
+        lines = text.splitlines()
+        assert "1.23" in text and "2.00" in text
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_shape(self):
+        check_shape("a", np.zeros((3, 2)), (3, 2))
+        check_shape("a", np.zeros((3, 2)), (None, 2))
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros(3), (3, 1))
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((3, 2)), (3, 4))
+
+    def test_check_index_array(self):
+        check_index_array("m", np.array([0, 1, 2]), 3)
+        with pytest.raises(TypeError):
+            check_index_array("m", np.array([0.5]), 3)
+        with pytest.raises(ValueError, match="range"):
+            check_index_array("m", np.array([3]), 3)
+        check_index_array("m", np.array([], dtype=np.int64), 0)
+
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_as_float_array(self):
+        arr = as_float_array("v", [1, 2, 3], dim=3)
+        assert arr.dtype == np.float64
+        with pytest.raises(ValueError, match="components"):
+            as_float_array("v", [1, 2], dim=3)
