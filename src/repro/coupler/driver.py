@@ -65,6 +65,10 @@ class CoupledRunConfig:
     #: ablation benchmark quantifies the accuracy loss)
     couple_every: int = 1
     timeout: float = 300.0
+    #: route every par_loop through the race-sanitizer backend
+    sanitize: bool = False
+    #: serialize ranks under a seeded deterministic schedule (None = off)
+    schedule_seed: int | None = None
 
     def ranks_of(self) -> list[int]:
         n = self.rig.n_rows
@@ -349,8 +353,14 @@ class CoupledDriver:
             n_world=self.n_world,
         )
         traffic = Traffic()
+        scheduler = None
+        if self.cfg.schedule_seed is not None:
+            from repro.smpi import DeterministicScheduler
+
+            scheduler = DeterministicScheduler(self.cfg.schedule_seed)
         results = run_ranks(self.n_world, _rank_main, args=(setup,),
-                            timeout=self.cfg.timeout, traffic=traffic)
+                            timeout=self.cfg.timeout, traffic=traffic,
+                            scheduler=scheduler)
         rows = [r for r in results if r["role"] == "hs" and r["reporter"]]
         cus = [r for r in results if r["role"] == "cu"]
         rows.sort(key=lambda r: r["row"])
@@ -378,7 +388,8 @@ def _rank_main(world, setup: _Setup):
     sub = world.split(color)
     op2.set_config(partial_halos=setup.cfg.partial_halos,
                    grouped_halos=setup.cfg.grouped_halos,
-                   backend=op2.current_config().backend)
+                   backend=op2.current_config().backend,
+                   sanitize=setup.cfg.sanitize)
     if role == "hs":
         return _hs_main(world, sub, idx, setup)
     return _cu_main(world, idx, sub_idx, setup)

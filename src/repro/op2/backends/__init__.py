@@ -13,6 +13,9 @@ strategies for indirect increments:
                 scatter — the CUDA analogue
 ``blockcolor``  contiguous blocks ordered by block color — OP2's
                 OpenMP *plan* shape (colors are team-parallel-safe)
+``sanitizer``   colored execution with per-element write-set auditing —
+                raises :class:`~repro.op2.backends.sanitizer.RaceError`
+                on any same-color conflict instead of corrupting data
 ==============  ========================================================
 
 All backends must produce results identical to ``sequential`` up to
@@ -21,6 +24,7 @@ floating-point reassociation; the test suite enforces this.
 
 from repro.op2.backends.base import Backend, ReductionBuffers
 from repro.op2.backends.blockcolor import BlockColorBackend
+from repro.op2.backends.sanitizer import RaceError, RaceFinding, SanitizerBackend
 from repro.op2.backends.sequential import SequentialBackend
 from repro.op2.backends.vectorized import AtomicsBackend, ColoringBackend, VectorizedBackend
 
@@ -30,6 +34,7 @@ BACKENDS: dict[str, Backend] = {
     "coloring": ColoringBackend(),
     "atomics": AtomicsBackend(),
     "blockcolor": BlockColorBackend(),
+    "sanitizer": SanitizerBackend(),
 }
 
 
@@ -45,4 +50,5 @@ def resolve_backend(name: str) -> Backend:
 
 __all__ = ["Backend", "ReductionBuffers", "BACKENDS", "resolve_backend",
            "SequentialBackend", "VectorizedBackend", "ColoringBackend",
-           "AtomicsBackend", "BlockColorBackend"]
+           "AtomicsBackend", "BlockColorBackend", "SanitizerBackend",
+           "RaceError", "RaceFinding"]

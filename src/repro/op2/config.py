@@ -38,6 +38,12 @@ class Config:
         Debug mode: the sequential backend hands kernels *read-only*
         views for READ arguments, so a kernel violating its declared
         access fails loudly instead of silently corrupting data.
+    sanitize:
+        Debug mode: route every par_loop through the ``sanitizer``
+        backend (write-set race auditing), overriding ``backend`` and
+        per-loop overrides. A plan with a same-color conflict raises
+        :class:`~repro.op2.backends.sanitizer.RaceError` instead of
+        silently corrupting data.
     """
 
     backend: str = "vectorized"
@@ -47,6 +53,7 @@ class Config:
     block_size: int = 256
     profile: bool = False
     check_access: bool = False
+    sanitize: bool = False
 
 
 _default = Config()

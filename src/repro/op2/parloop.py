@@ -96,6 +96,8 @@ class ParLoop:
     # -- execution --------------------------------------------------------
     def execute(self, backend_name: str | None = None) -> None:
         cfg = current_config()
+        if cfg.sanitize:  # sanitize mode audits every loop, overrides all
+            backend_name = "sanitizer"
         backend = resolve_backend(backend_name or cfg.backend)
         profiling = cfg.profile
         t0 = time.perf_counter() if profiling else 0.0

@@ -79,6 +79,7 @@ class _Unit:
     target_size: int
     columns: list[np.ndarray]
     target_id: int = 0
+    label: str = ""  #: human-readable id for sanitizer reports
 
 
 def conflict_units(args, extent: int) -> list[_Unit]:
@@ -92,11 +93,12 @@ def conflict_units(args, extent: int) -> list[_Unit]:
         if arg.is_vector:
             units.append(
                 _Unit(tsize, [m.values[:extent, c] for c in range(m.arity)],
-                      id(m.to_set))
+                      id(m.to_set), f"{arg.data.name} via {m.name}[*]")
             )
         else:
             units.append(_Unit(tsize, [m.values[:extent, arg.idx]],
-                               id(m.to_set)))
+                               id(m.to_set),
+                               f"{arg.data.name} via {m.name}[{arg.idx}]"))
     return units
 
 

@@ -3,12 +3,15 @@
 The paper's runs use real MPI on up to 65k cores of ARCHER2. Here,
 ranks are Python threads inside one process, exchanging numpy buffers
 through mailboxes with genuine blocking semantics (a misordered
-send/recv deadlocks, caught by a watchdog, exactly as it would hang on
-a cluster). The layer provides communicators, ``split`` for the
+send/recv deadlocks — reported by the wait-for-graph detector with the
+actual blocked-on cycle, exactly what a hung cluster job would not
+tell you). The layer provides communicators, ``split`` for the
 HS/CU sub-communicator layout of the coupled solver, point-to-point
-and collective operations, and *traffic accounting* — per-phase
-message and byte counts that drive the communication-optimization
-study (Table III of the paper).
+and collective operations, *traffic accounting* — per-phase message
+and byte counts that drive the communication-optimization study
+(Table III of the paper) — and a seeded
+:class:`DeterministicScheduler` that serializes rank threads into a
+replayable interleaving for sweeping message-race schedules.
 """
 
 from repro.smpi.comm import (
@@ -21,17 +24,26 @@ from repro.smpi.comm import (
     run_ranks,
     waitall,
 )
+from repro.smpi.deadlock import DeadlockError, WaitEdge, WaitRegistry, format_cycle
+from repro.smpi.schedule import DeterministicScheduler, ScheduleRun, sweep_schedules
 from repro.smpi.traffic import Traffic, TrafficRecord
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "DeadlockError",
+    "DeterministicScheduler",
     "Request",
+    "ScheduleRun",
     "SimAbort",
     "SimComm",
     "SimMPIError",
-    "run_ranks",
-    "waitall",
     "Traffic",
     "TrafficRecord",
+    "WaitEdge",
+    "WaitRegistry",
+    "format_cycle",
+    "run_ranks",
+    "sweep_schedules",
+    "waitall",
 ]

@@ -3,9 +3,21 @@
 Each rank runs its target function on its own thread; ranks of a
 communicator share mailboxes (point-to-point) and a collective context
 (barrier + data slots). Blocking semantics are real — a ``recv`` with
-no matching ``send`` blocks until the watchdog timeout trips and the
-whole run is aborted with :class:`SimMPIError`, mirroring a hung MPI
-job.
+no matching ``send`` blocks, mirroring a hung MPI job — but hangs are
+*diagnosed*, not merely timed out: every blocking operation registers
+a wait-for edge with a world-level
+:class:`~repro.smpi.deadlock.WaitRegistry`, and a genuine cycle (rank
+0 waiting on rank 1 waiting on rank 0, or a wait on a rank that
+already exited) raises :class:`~repro.smpi.errors.DeadlockError`
+naming the full cycle within milliseconds. The watchdog timeout
+remains as a backstop for ranks stuck *outside* MPI (e.g. an infinite
+compute loop).
+
+Runs can additionally be serialized under a seeded
+:class:`~repro.smpi.schedule.DeterministicScheduler`
+(``run_ranks(..., scheduler=...)``): one rank executes at a time and
+every interleaving decision is replayable, which turns ``ANY_SOURCE``
+and ``probe`` races from flaky into sweepable.
 
 Design notes
 ------------
@@ -13,10 +25,12 @@ Design notes
   semantics, like a real network) so a sender mutating its buffer
   after ``send`` cannot corrupt the receiver — the classic MPI buffer
   contract.
-* Collectives use a ``threading.Barrier`` plus shared slots; the rank
-  that draws barrier index 0 performs the reduction. Sub-communicators
-  from :meth:`SimComm.split` get fresh mailboxes/barriers, so HS and
-  CU groups of the coupled solver cannot interfere.
+* Collectives use a generation-counting barrier plus shared slots; the
+  rank that draws arrival index 0 performs the reduction.
+  Sub-communicators from :meth:`SimComm.split` get fresh
+  mailboxes/barriers, so HS and CU groups of the coupled solver cannot
+  interfere — but they share the world's wait registry, scheduler and
+  traffic ledger.
 * All traffic is recorded in a world-level :class:`~repro.smpi.traffic.Traffic`
   ledger keyed by *world* ranks, whatever communicator carried it.
 """
@@ -25,26 +39,29 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
+from repro.smpi.deadlock import WaitEdge, WaitRegistry
+from repro.smpi.errors import DeadlockError, SimAbort, SimMPIError
 from repro.smpi.traffic import Traffic, payload_nbytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.schedule import DeterministicScheduler
 
 ANY_SOURCE = -1
 ANY_TAG = -1
 
 #: Default seconds a blocking operation may wait before the run is
-#: declared deadlocked. Generous because CI machines stall.
+#: declared hung. True message/barrier deadlocks are caught by the
+#: wait-for detector long before this; the watchdog only catches ranks
+#: stuck outside the MPI layer.
 DEFAULT_TIMEOUT = 120.0
 
-
-class SimMPIError(RuntimeError):
-    """A simulated-MPI failure: deadlock timeout or protocol misuse."""
-
-
-class SimAbort(RuntimeError):
-    """Raised inside ranks when another rank has failed and the run aborts."""
+#: Poll step (seconds) of blocking waits; also bounds how often the
+#: deadlock detector re-checks an already-blocked rank.
+_WAIT_STEP = 0.05
 
 
 def _copy_payload(obj: Any) -> Any:
@@ -71,10 +88,11 @@ class _Message:
 class _Mailbox:
     """Incoming-message queue for one rank of one communicator."""
 
-    def __init__(self, abort: threading.Event) -> None:
+    def __init__(self, state: "_CommState", rank: int) -> None:
+        self._state = state
+        self._rank = rank
         self._cond = threading.Condition()
         self._messages: list[_Message] = []
-        self._abort = abort
         self._seq = 0
 
     def put(self, src: int, tag: int, payload: Any) -> None:
@@ -83,46 +101,170 @@ class _Mailbox:
             self._seq += 1
             self._cond.notify_all()
 
+    def _match_index(self, source: int, tag: int) -> int | None:
+        for i, msg in enumerate(self._messages):
+            if source not in (ANY_SOURCE, msg.src):
+                continue
+            if tag not in (ANY_TAG, msg.tag):
+                continue
+            return i
+        return None
+
+    def _has_match(self, source: int, tag: int) -> bool:
+        """Lock-free peek (GIL-atomic snapshot; safe for wait probes)."""
+        for msg in list(self._messages):
+            if source in (ANY_SOURCE, msg.src) and tag in (ANY_TAG, msg.tag):
+                return True
+        return False
+
+    def _edge(self, source: int, tag: int) -> WaitEdge:
+        state = self._state
+        me = state.world_ranks[self._rank]
+        if source == ANY_SOURCE:
+            peers = tuple(w for r, w in enumerate(state.world_ranks)
+                          if r != self._rank)
+            detail = "source=ANY"
+        else:
+            peers = (state.world_ranks[source],)
+            detail = f"source={state.world_ranks[source]}"
+        return WaitEdge(rank=me, op="recv", peers=peers,
+                        tag=None if tag == ANY_TAG else tag, detail=detail)
+
     def get(self, source: int, tag: int, timeout: float) -> _Message:
+        state = self._state
+        abort = state.abort
+        if state.scheduler is not None:
+            state.scheduler.wait_until(
+                lambda: abort.is_set() or self._has_match(source, tag),
+                self._edge(source, tag),
+            )
+            if abort.is_set():
+                raise SimAbort("run aborted by another rank")
+            with self._cond:
+                i = self._match_index(source, tag)
+                assert i is not None  # scheduler only wakes us when matched
+                return self._messages.pop(i)
+
         deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        edge = self._edge(source, tag)
+
+        def satisfied() -> bool:
+            return abort.is_set() or self._has_match(source, tag)
+
         with self._cond:
             waited = 0.0
-            while True:
-                if self._abort.is_set():
-                    raise SimAbort("run aborted by another rank")
-                for i, msg in enumerate(self._messages):
-                    if source not in (ANY_SOURCE, msg.src):
-                        continue
-                    if tag not in (ANY_TAG, msg.tag):
-                        continue
-                    return self._messages.pop(i)
-                remaining = deadline - waited
-                if remaining <= 0:
-                    raise SimMPIError(
-                        f"recv(source={source}, tag={tag}) timed out after "
-                        f"{deadline:.1f}s — deadlock?"
-                    )
-                step = min(0.05, remaining)
-                self._cond.wait(step)
-                waited += step
+            registered = False
+            try:
+                while True:
+                    if abort.is_set():
+                        raise SimAbort("run aborted by another rank")
+                    i = self._match_index(source, tag)
+                    if i is not None:
+                        return self._messages.pop(i)
+                    if not registered:
+                        state.registry.register(edge, satisfied)
+                        registered = True
+                    state.registry.raise_if_deadlocked(edge.rank)
+                    remaining = deadline - waited
+                    if remaining <= 0:
+                        raise SimMPIError(
+                            f"recv(source={source}, tag={tag}) timed out "
+                            f"after {deadline:.1f}s — deadlock?"
+                        )
+                    step = min(_WAIT_STEP, remaining)
+                    self._cond.wait(step)
+                    waited += step
+            finally:
+                if registered:
+                    state.registry.unregister(edge.rank)
 
     def probe(self, source: int, tag: int) -> bool:
         with self._cond:
-            for msg in self._messages:
-                if source not in (ANY_SOURCE, msg.src):
-                    continue
-                if tag not in (ANY_TAG, msg.tag):
-                    continue
-                return True
-            return False
+            return self._match_index(source, tag) is not None
+
+
+class _Barrier:
+    """Generation-counting cyclic barrier with deadlock registration.
+
+    Replaces ``threading.Barrier`` so waiting ranks can (a) register
+    wait-for edges naming the members still missing, (b) park in the
+    deterministic scheduler instead of blocking natively, and (c) be
+    woken by :meth:`abort`. ``wait`` returns a unique arrival index
+    per generation; the first arriver gets 0 (the reduction owner).
+    """
+
+    def __init__(self, state: "_CommState") -> None:
+        self._state = state
+        self._cond = threading.Condition()
+        self._count = 0
+        self._gen = 0
+        self._arrived: set[int] = set()
+        self.broken = False
+
+    def abort(self) -> None:
+        with self._cond:
+            self.broken = True
+            self._cond.notify_all()
+        sched = self._state.scheduler
+        if sched is not None:
+            sched.abort_all()
+
+    def wait(self, timeout: float, rank: int) -> int:
+        state = self._state
+        with self._cond:
+            if self.broken:
+                raise threading.BrokenBarrierError
+            gen = self._gen
+            idx = self._count
+            self._count += 1
+            self._arrived.add(rank)
+            if self._count == state.size:
+                self._count = 0
+                self._arrived.clear()
+                self._gen += 1
+                self._cond.notify_all()
+                return idx
+            peers = tuple(state.world_ranks[r] for r in range(state.size)
+                          if r != rank and r not in self._arrived)
+        me = state.world_ranks[rank]
+        edge = WaitEdge(rank=me, op="barrier", peers=peers,
+                        detail=f"{state.size}-rank barrier")
+
+        def released() -> bool:
+            return self.broken or self._gen != gen or state.abort.is_set()
+
+        if state.scheduler is not None:
+            state.scheduler.wait_until(released, edge)
+            if self.broken or state.abort.is_set():
+                raise threading.BrokenBarrierError
+            return idx
+
+        deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+        with self._cond:
+            waited = 0.0
+            with state.registry.blocking(edge, released):
+                while not (self.broken or self._gen != gen):
+                    if state.abort.is_set():
+                        raise threading.BrokenBarrierError
+                    state.registry.raise_if_deadlocked(me)
+                    if waited >= deadline:
+                        self.broken = True
+                        self._cond.notify_all()
+                        raise threading.BrokenBarrierError
+                    step = min(_WAIT_STEP, deadline - waited)
+                    self._cond.wait(step)
+                    waited += step
+            if self.broken:
+                raise threading.BrokenBarrierError
+            return idx
 
 
 class _Collective:
     """Barrier + data slots shared by the ranks of one communicator."""
 
-    def __init__(self, size: int) -> None:
-        self.barrier = threading.Barrier(size)
-        self.slots: list[Any] = [None] * size
+    def __init__(self, state: "_CommState") -> None:
+        self.barrier = _Barrier(state)
+        self.slots: list[Any] = [None] * state.size
         self.result: Any = None
 
 
@@ -154,14 +296,17 @@ class _CommState:
 
     def __init__(self, size: int, world_ranks: Sequence[int],
                  traffic: Traffic, abort: threading.Event,
-                 timeout: float) -> None:
+                 timeout: float, registry: WaitRegistry | None = None,
+                 scheduler: "DeterministicScheduler | None" = None) -> None:
         self.size = size
         self.world_ranks = list(world_ranks)
         self.traffic = traffic
         self.abort = abort
         self.timeout = timeout
-        self.mailboxes = [_Mailbox(abort) for _ in range(size)]
-        self.collective = _Collective(size)
+        self.registry = registry if registry is not None else WaitRegistry()
+        self.scheduler = scheduler
+        self.mailboxes = [_Mailbox(self, r) for r in range(size)]
+        self.collective = _Collective(self)
         self._split_lock = threading.Lock()
         self._split_results: dict[int, dict[int, "_CommState"]] = {}
         self._split_gen = 0
@@ -202,6 +347,8 @@ class SimComm:
             self.world_rank, self._state.world_ranks[dest], payload_nbytes(obj)
         )
         self._state.mailboxes[dest].put(self.rank, tag, payload)
+        if self._state.scheduler is not None:
+            self._state.scheduler.maybe_yield()
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload."""
@@ -222,7 +369,13 @@ class SimComm:
         return Request(_resolve=lambda: self.recv(source, tag))
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
-        """Nonblocking check for a matching pending message."""
+        """Nonblocking check for a matching pending message.
+
+        Under a deterministic scheduler this is a yield point, so a
+        probe-poll loop cannot starve the rank it is waiting on.
+        """
+        if self._state.scheduler is not None:
+            self._state.scheduler.maybe_yield()
         return self._state.mailboxes[self.rank].probe(source, tag)
 
     def sendrecv(self, obj: Any, dest: int, source: int,
@@ -234,7 +387,8 @@ class SimComm:
     # -- collectives -------------------------------------------------------
     def _barrier_wait(self) -> int:
         try:
-            return self._state.collective.barrier.wait(self._state.timeout)
+            return self._state.collective.barrier.wait(
+                self._state.timeout, self.rank)
         except threading.BrokenBarrierError as exc:
             if self._state.abort.is_set():
                 raise SimAbort("run aborted by another rank") from exc
@@ -345,6 +499,8 @@ class SimComm:
                         traffic=state.traffic,
                         abort=state.abort,
                         timeout=state.timeout,
+                        registry=state.registry,
+                        scheduler=state.scheduler,
                     )
                     built[c] = sub
                     for newrank, r in enumerate(ranks):
@@ -368,18 +524,28 @@ def waitall(requests: list[Request]) -> list[Any]:
 
 def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
               timeout: float = DEFAULT_TIMEOUT,
-              traffic: Traffic | None = None) -> list[Any]:
+              traffic: Traffic | None = None,
+              scheduler: "DeterministicScheduler | None" = None) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` cooperating threads.
 
     Returns each rank's return value, ordered by rank. If any rank
     raises, the whole run is aborted (barriers broken, mailbox waits
-    poisoned) and the first failure is re-raised.
+    poisoned) and the first failure is re-raised. Blocked send/recv or
+    barrier cycles are reported as
+    :class:`~repro.smpi.errors.DeadlockError` with the wait-for cycle
+    long before ``timeout``. Pass a
+    :class:`~repro.smpi.schedule.DeterministicScheduler` to serialize
+    the ranks under a seeded, replayable interleaving.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     traffic = traffic if traffic is not None else Traffic()
     abort = threading.Event()
-    state = _CommState(nranks, list(range(nranks)), traffic, abort, timeout)
+    registry = WaitRegistry()
+    if scheduler is not None:
+        scheduler.attach(nranks, abort)
+    state = _CommState(nranks, list(range(nranks)), traffic, abort, timeout,
+                       registry=registry, scheduler=scheduler)
     results: list[Any] = [None] * nranks
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
@@ -387,6 +553,8 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
     def runner(rank: int) -> None:
         comm = SimComm(state, rank)
         try:
+            if scheduler is not None:
+                scheduler.thread_started(rank)
             results[rank] = fn(comm, *args)
         except SimAbort:
             pass
@@ -399,6 +567,12 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
                 for entry in state._split_results.values():
                     for sub in entry["comms"].values():  # type: ignore[union-attr]
                         sub.collective.barrier.abort()
+            if scheduler is not None:
+                scheduler.abort_all()
+        finally:
+            registry.mark_done(rank)
+            if scheduler is not None:
+                scheduler.thread_finished(rank)
 
     threads = [
         threading.Thread(target=runner, args=(r,), name=f"smpi-rank-{r}", daemon=True)
@@ -411,9 +585,14 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
         if t.is_alive():
             abort.set()
             state.collective.barrier.abort()
-            raise SimMPIError(f"rank thread {t.name} failed to terminate")
+            if scheduler is not None:
+                scheduler.abort_all()
+            with failures_lock:
+                if not failures:  # prefer a rank's own error if one exists
+                    raise SimMPIError(
+                        f"rank thread {t.name} failed to terminate")
     if failures:
-        failures.sort()
+        failures.sort(key=lambda pair: pair[0])
         rank, exc = failures[0]
         raise exc
     return results

@@ -1,0 +1,31 @@
+"""Error types shared across the simulated-MPI layer.
+
+Kept in a leaf module so the deadlock detector and the deterministic
+scheduler can raise the same exceptions :mod:`repro.smpi.comm` exposes
+without importing the communicator machinery (which imports them).
+"""
+
+from __future__ import annotations
+
+
+class SimMPIError(RuntimeError):
+    """A simulated-MPI failure: deadlock, timeout or protocol misuse."""
+
+
+class SimAbort(RuntimeError):
+    """Raised inside ranks when another rank has failed and the run aborts."""
+
+
+class DeadlockError(SimMPIError):
+    """A wait-for cycle was detected among blocked ranks.
+
+    Unlike the generic watchdog timeout, this carries the actual
+    blocked-on structure: ``cycle`` is a list of
+    :class:`~repro.smpi.deadlock.WaitEdge` entries, one per rank that
+    can never be unblocked, each naming the operation it is stuck in
+    and the peers that would have to act to release it.
+    """
+
+    def __init__(self, message: str, cycle=()) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle)

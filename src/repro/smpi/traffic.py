@@ -11,6 +11,7 @@ wall-clock noise.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import threading
 from collections import defaultdict
@@ -70,6 +71,9 @@ class Traffic:
         self._messages: dict[tuple[str, int, int], int] = defaultdict(int)
         self._nbytes: dict[tuple[str, int, int], int] = defaultdict(int)
         self._phase: dict[int, str] = {}
+        #: ordered per-message log: (phase, src, dst, nbytes) in the
+        #: order sends hit the ledger — the observable message schedule
+        self._log: list[tuple[str, int, int, int]] = []
 
     def set_phase(self, rank: int, phase: str) -> None:
         with self._lock:
@@ -85,6 +89,7 @@ class Traffic:
             key = (phase, src, dst)
             self._messages[key] += 1
             self._nbytes[key] += nbytes
+            self._log.append((phase, src, dst, nbytes))
 
     def records(self) -> list[TrafficRecord]:
         with self._lock:
@@ -119,7 +124,29 @@ class Traffic:
                 out[phase]["nbytes"] += b
         return out
 
+    def message_log(self) -> list[tuple[str, int, int, int]]:
+        """Ordered ``(phase, src, dst, nbytes)`` per message, send order.
+
+        Unlike :meth:`records`, this preserves the interleaving, so two
+        ledgers with identical aggregates but different message orders
+        compare different — the property deterministic-schedule tests
+        rely on.
+        """
+        with self._lock:
+            return list(self._log)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the ordered message log (hex digest).
+
+        Two runs produced the byte-identical message schedule iff their
+        fingerprints match.
+        """
+        with self._lock:
+            blob = repr(self._log).encode()
+        return hashlib.sha256(blob).hexdigest()
+
     def reset(self) -> None:
         with self._lock:
             self._messages.clear()
             self._nbytes.clear()
+            self._log.clear()

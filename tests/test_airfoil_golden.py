@@ -1,0 +1,67 @@
+"""Golden regression: the airfoil residual trajectory is pinned.
+
+``tests/golden/airfoil_residuals.json`` stores the RMS history of a
+fixed sequential run (mesh, Mach, CFL and iteration count recorded in
+the file). Every backend must reproduce it within floating-point
+reassociation tolerance — so a future performance PR that changes
+numerics, on any backend, fails here instead of silently shifting
+results. Regenerate the file ONLY for an intentional numerics change
+(run the snippet in the module docstring of the JSON's neighbour, or
+see docs/API.md).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import op2
+from repro.apps import AirfoilApp, make_airfoil_mesh
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "airfoil_residuals.json"
+
+ALL_BACKENDS = ["sequential", "vectorized", "coloring", "atomics",
+                "blockcolor", "sanitizer"]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        payload = json.load(fh)
+    payload["rms"] = np.array([float(x) for x in payload["rms_history"]])
+    return payload
+
+
+@pytest.fixture(scope="module")
+def mesh(golden):
+    return make_airfoil_mesh(ni=golden["mesh"]["ni"],
+                             nj=golden["mesh"]["nj"])
+
+
+def test_golden_file_is_wellformed(golden):
+    assert golden["backend"] == "sequential"
+    assert len(golden["rms"]) == golden["niter"]
+    assert (golden["rms"] > 0).all()
+    # converging: the pinned trajectory must be monotonically decreasing
+    assert (np.diff(golden["rms"]) < 0).all()
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_residual_trajectory_matches_golden(golden, mesh, backend):
+    op2.clear_plan_cache()
+    app = AirfoilApp(mesh, mach=golden["mach"], cfl=golden["cfl"],
+                     backend=backend)
+    history = app.iterate(golden["niter"], rk_stages=golden["rk_stages"])
+    np.testing.assert_allclose(history, golden["rms"], rtol=1e-9,
+                               err_msg=f"backend {backend} drifted from the "
+                               f"pinned residual trajectory")
+
+
+def test_sequential_matches_golden_exactly(golden, mesh):
+    """The generating backend must be bit-reproducible, not just close:
+    repr round-trip of every residual."""
+    app = AirfoilApp(mesh, mach=golden["mach"], cfl=golden["cfl"],
+                     backend="sequential")
+    history = app.iterate(golden["niter"], rk_stages=golden["rk_stages"])
+    assert [repr(x) for x in history] == golden["rms_history"]

@@ -2,8 +2,12 @@
 
 A production-quality distributed harness is judged by how it dies: a
 crashing rank or CU must abort the whole world with the original
-exception, and misconfigurations must be caught before threads launch.
+exception, misconfigurations must be caught before threads launch, and
+a communication deadlock must be reported as a wait-for cycle naming
+the stuck ranks — not ripen into a generic watchdog timeout.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -13,7 +17,7 @@ from repro.coupler import CoupledDriver, CoupledRunConfig
 from repro.coupler.interface import SideGeometry, SlidingInterface
 from repro.hydra import FlowState, Numerics
 from repro.mesh import rig250_config
-from repro.smpi import SimMPIError, run_ranks
+from repro.smpi import DeadlockError, SimMPIError, run_ranks
 
 
 class TestRankFailures:
@@ -71,10 +75,31 @@ class TestCoupledFailures:
         with pytest.raises(RuntimeError, match="no donor"):
             driver.run(1)
 
-    def test_timeout_is_configurable(self):
+    def test_recv_from_finished_rank_reports_deadlock(self):
+        """A recv on a rank that already exited can never complete; the
+        detector flags it immediately instead of burning the watchdog."""
+
         def fn(comm):
             if comm.rank == 0:
-                comm.recv(source=1)  # never sent
+                comm.recv(source=1)  # never sent; rank 1 exits
+
+        start = time.monotonic()
+        with pytest.raises(DeadlockError) as exc:
+            run_ranks(2, fn, timeout=30.0)
+        assert time.monotonic() - start < 5.0  # not the 30 s watchdog
+        assert "rank 1 (finished)" in str(exc.value)
+        assert [e.rank for e in exc.value.cycle] == [0]
+
+    def test_timeout_is_configurable(self):
+        """The watchdog still backstops ranks stuck outside MPI: a live
+        (sleeping) peer means no wait-for cycle, so only the short
+        explicit timeout can end the wait."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.recv(source=1)
+            else:
+                time.sleep(1.5)  # alive but silent, so no wait-for cycle
 
         with pytest.raises(SimMPIError, match="timed out"):
             run_ranks(2, fn, timeout=0.3)

@@ -1,0 +1,164 @@
+"""Property suite: halo-exchange scope never changes loop results.
+
+The paper's partial-halo optimization (PH, Table III) exchanges only
+the halo entries a loop references through its map — or only the exec
+region for direct reads — instead of the full halo. Its correctness
+claim, made executable here with Hypothesis over *random
+connectivity*: whatever scope refreshes the halos (``"full"``,
+``"exec"``, or per-map partial), and however messages are packed
+(grouped or not), a distributed loop sequence must produce results
+identical to the serial run.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import op2
+from repro.op2.distribute import GlobalProblem, plan_distribution
+from repro.op2.halo import exchange_halos
+from repro.smpi import run_ranks
+
+HALO_SETTINGS = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_meshes(draw):
+    """Random connectivity: a ring (so every rank has neighbours) plus
+    arbitrary chord edges, with arbitrary node ownership."""
+    n = draw(st.integers(min_value=8, max_value=18))
+    nranks = draw(st.integers(min_value=2, max_value=4))
+    chords = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=n))
+    ring = [(i, (i + 1) % n) for i in range(n)]
+    table = np.array(ring + chords, dtype=np.int64)
+    owners = np.array(
+        draw(st.lists(st.integers(0, nranks - 1), min_size=n, max_size=n)),
+        dtype=np.int64)
+    owners[:nranks] = np.arange(nranks)  # every rank owns something
+    data_seed = draw(st.integers(0, 2**16))
+    return n, table, nranks, owners, data_seed
+
+
+def build_problem(n, table, data_seed):
+    rng = np.random.default_rng(data_seed)
+    gp = GlobalProblem()
+    gp.add_set("nodes", n)
+    gp.add_set("edges", len(table))
+    gp.add_map("pedge", "edges", "nodes", table)
+    gp.add_dat("q", "nodes", rng.normal(size=(n, 1)))
+    gp.add_dat("res", "nodes", np.zeros((n, 1)))
+    return gp
+
+
+def flux(q1, q2, r1, r2, total):
+    f = 0.5 * (q1[0] + q2[0])
+    r1[0] += f
+    r2[0] -= 0.5 * f
+    total[0] += f
+
+
+def relax(r, q):
+    q[0] = q[0] + 0.1 * r[0]
+    r[0] = 0.0
+
+
+def loop_sequence(nodes, edges, pedge, q, res, steps=2):
+    totals = []
+    kflux = op2.Kernel(flux)
+    krelax = op2.Kernel(relax)
+    for _ in range(steps):
+        total = op2.Global(1, 0.0, "total")
+        op2.par_loop(kflux, edges,
+                     q.arg(op2.READ, pedge, 0), q.arg(op2.READ, pedge, 1),
+                     res.arg(op2.INC, pedge, 0), res.arg(op2.INC, pedge, 1),
+                     total.arg(op2.INC))
+        op2.par_loop(krelax, nodes, res.arg(op2.RW), q.arg(op2.RW))
+        totals.append(total.value)
+    return totals
+
+
+def run_serial(gp, table):
+    n = gp.sets["nodes"]
+    nodes = op2.Set(n, "nodes")
+    edges = op2.Set(gp.sets["edges"], "edges")
+    pedge = op2.Map(edges, nodes, 2, table, "pedge")
+    q = op2.Dat(nodes, 1, data=gp.dats["q"][1].copy(), name="q")
+    res = op2.Dat(nodes, 1, data=gp.dats["res"][1].copy(), name="res")
+    totals = loop_sequence(nodes, edges, pedge, q, res)
+    return q.data_ro.copy(), totals
+
+
+def layouts_for(gp, table, nranks, owners):
+    edge_owner = owners[table[:, 0]]
+    return plan_distribution(
+        gp, nranks, {"nodes": owners, "edges": edge_owner})
+
+
+def run_distributed(gp, table, nranks, owners, partial, grouped):
+    n = gp.sets["nodes"]
+    layouts = layouts_for(gp, table, nranks, owners)
+
+    def rank_fn(comm):
+        op2.set_config(backend="vectorized", partial_halos=partial,
+                       grouped_halos=grouped)
+        local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+        totals = loop_sequence(local.sets["nodes"], local.sets["edges"],
+                               local.maps["pedge"], local.dats["q"],
+                               local.dats["res"])
+        gathered = op2.gather_dat(comm, local.dats["q"],
+                                  layouts[comm.rank], n)
+        return gathered, totals
+
+    results = run_ranks(nranks, rank_fn, timeout=60.0)
+    return results[0][0], [r[1] for r in results]
+
+
+@given(random_meshes())
+@HALO_SETTINGS
+def test_halo_scope_equivalence(case):
+    """full / partial(per-map + exec) / grouped / both — identical
+    results to serial on random connectivity."""
+    n, table, nranks, owners, data_seed = case
+    gp = build_problem(n, table, data_seed)
+    q_ref, totals_ref = run_serial(gp, table)
+    for partial, grouped in ((False, False), (True, False),
+                             (False, True), (True, True)):
+        q_dist, totals_all = run_distributed(
+            gp, table, nranks, owners, partial, grouped)
+        np.testing.assert_allclose(q_dist, q_ref, rtol=1e-12, atol=1e-14,
+                                   err_msg=f"partial={partial} grouped={grouped}")
+        for totals in totals_all:
+            np.testing.assert_allclose(totals, totals_ref, rtol=1e-12)
+
+
+@given(random_meshes(), st.sampled_from(["full", "exec", "pedge"]))
+@HALO_SETTINGS
+def test_exchange_scope_fills_its_entries_with_owner_values(case, scope):
+    """Direct exchange-level property: whatever the scope, every halo
+    entry its plan covers must afterwards hold the owner's value (here
+    the node's global id, so the expectation needs no reference run)."""
+    n, table, nranks, owners, data_seed = case
+    gp = build_problem(n, table, data_seed)
+    layouts = layouts_for(gp, table, nranks, owners)
+
+    def rank_fn(comm):
+        local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+        nodes = local.sets["nodes"]
+        q = local.dats["q"]
+        halo = nodes.halo
+        q.data[:, 0] = halo.global_ids[:nodes.size]
+        q.mark_halo_stale()
+        exchange_halos(nodes, [q], scope=scope)
+        plan = halo.plan_for(scope)
+        covered = (np.concatenate([v for v in plan.recv.values()])
+                   if plan.recv else np.empty(0, dtype=np.int64))
+        return (q.data_with_halos[covered, 0].copy(),
+                halo.global_ids[covered].astype(float))
+
+    for got, want in run_ranks(nranks, rank_fn, timeout=60.0):
+        np.testing.assert_array_equal(got, want)

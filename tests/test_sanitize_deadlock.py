@@ -1,0 +1,201 @@
+"""Wait-for-graph deadlock detector: cycles named in milliseconds.
+
+The acceptance bar (ISSUE 1): an injected send/recv cycle must be
+reported as a wait-for cycle naming both ranks in under a second —
+against a watchdog timeout set far higher, so a pass proves the
+detector fired, not the timeout.
+"""
+
+import time
+
+import pytest
+
+from repro.smpi import (
+    DeadlockError,
+    SimMPIError,
+    WaitEdge,
+    WaitRegistry,
+    format_cycle,
+    run_ranks,
+)
+
+
+def expect_deadlock(nranks, fn, budget=1.0, timeout=60.0):
+    """Run and return the DeadlockError, asserting it arrived fast."""
+    start = time.monotonic()
+    with pytest.raises(DeadlockError) as excinfo:
+        run_ranks(nranks, fn, timeout=timeout)
+    assert time.monotonic() - start < budget, "detector too slow"
+    return excinfo.value
+
+
+class TestCycleDetection:
+    def test_two_rank_recv_cycle_named_within_a_second(self):
+        def fn(comm):
+            comm.recv(source=1 - comm.rank)  # head-on: nobody sends
+
+        err = expect_deadlock(2, fn, budget=1.0)
+        message = str(err)
+        assert "rank 0" in message and "rank 1" in message
+        assert "recv" in message
+        assert sorted(e.rank for e in err.cycle) == [0, 1]
+        for edge in err.cycle:
+            assert edge.peers == (1 - edge.rank,)
+
+    def test_three_rank_ring_cycle(self):
+        def fn(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size)
+
+        err = expect_deadlock(3, fn, budget=1.5)
+        assert sorted(e.rank for e in err.cycle) == [0, 1, 2]
+
+    def test_partial_deadlock_reports_only_stuck_core(self):
+        """Ranks 0/1 deadlock each other while rank 2 finishes cleanly;
+        the cycle must not include the innocent rank."""
+
+        def fn(comm):
+            if comm.rank == 2:
+                return "fine"
+            comm.recv(source=1 - comm.rank)
+
+        err = expect_deadlock(3, fn, budget=1.5)
+        assert sorted(e.rank for e in err.cycle) == [0, 1]
+
+    def test_barrier_vs_recv_mixed_deadlock(self):
+        """One rank sits in a barrier, the other in a recv that only the
+        barrier-parked rank could satisfy — a cross-op cycle."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            else:
+                comm.recv(source=0, tag=3)
+
+        err = expect_deadlock(2, fn, budget=1.5)
+        ops = {e.rank: e.op for e in err.cycle}
+        assert ops == {0: "barrier", 1: "recv"}
+
+    def test_tag_mismatch_is_a_deadlock(self):
+        """A message with the wrong tag never matches: the recv is
+        stuck even though bytes sit in the mailbox."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1.0, dest=1, tag=5)
+                comm.recv(source=1)  # never sent
+            else:
+                comm.recv(source=0, tag=6)  # only tag 5 exists
+
+        err = expect_deadlock(2, fn, budget=1.5)
+        assert sorted(e.rank for e in err.cycle) == [0, 1]
+        tags = {e.rank: e.tag for e in err.cycle}
+        assert tags[1] == 6
+
+
+class TestNoFalsePositives:
+    def test_slow_sender_is_not_a_deadlock(self):
+        """A receiver blocked on a *live* rank that eventually sends must
+        not trip the detector, however long detection polls meanwhile."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1)
+            time.sleep(0.4)  # several detector poll periods
+            comm.send("late", dest=0)
+            return None
+
+        assert run_ranks(2, fn, timeout=30.0)[0] == "late"
+
+    def test_chain_behind_live_rank_is_not_a_deadlock(self):
+        """1 waits on 0, 2 waits on 1: both resolvable once 0 sends."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.3)
+                comm.send(0, dest=1)
+                return None
+            if comm.rank == 1:
+                got = comm.recv(source=0)
+                comm.send(got + 1, dest=2)
+                return got
+            return comm.recv(source=1)
+
+        assert run_ranks(3, fn, timeout=30.0)[2] == 1
+
+    def test_collectives_do_not_trip_detector(self):
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.2)  # stagger arrivals past a poll period
+            return comm.allreduce(comm.rank, "sum")
+
+        assert run_ranks(3, fn, timeout=30.0) == [3, 3, 3]
+
+
+class TestFinishedPeers:
+    def test_wait_on_finished_rank_is_terminal(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.recv(source=1)
+
+        err = expect_deadlock(2, fn, budget=1.0)
+        assert "(finished)" in str(err)
+        assert [e.rank for e in err.cycle] == [0]
+
+    def test_barrier_missing_finished_rank(self):
+        def fn(comm):
+            if comm.rank == 0:
+                return  # skips the barrier and exits
+            comm.barrier()
+
+        err = expect_deadlock(2, fn, budget=1.0)
+        assert all(e.op == "barrier" for e in err.cycle)
+        assert "(finished)" in str(err)
+
+
+class TestRegistryUnit:
+    """Direct WaitRegistry coverage independent of the comm layer."""
+
+    def test_trimming_spares_rank_waiting_on_live_peer(self):
+        reg = WaitRegistry()
+        reg.register(WaitEdge(0, "recv", peers=(1,)), lambda: False)
+        # rank 1 exists and is running (not blocked, not done)
+        assert reg.find_deadlock() is None
+
+    def test_mutual_waiters_form_a_cycle(self):
+        reg = WaitRegistry()
+        reg.register(WaitEdge(0, "recv", peers=(1,)), lambda: False)
+        reg.register(WaitEdge(1, "recv", peers=(0,)), lambda: False)
+        cycle = reg.find_deadlock()
+        assert [e.rank for e in cycle] == [0, 1]
+
+    def test_satisfied_probe_vetoes_detection(self):
+        """A matched-but-not-yet-woken rank is not stuck."""
+        reg = WaitRegistry()
+        reg.register(WaitEdge(0, "recv", peers=(1,)), lambda: True)
+        reg.register(WaitEdge(1, "recv", peers=(0,)), lambda: False)
+        assert reg.find_deadlock() is None
+
+    def test_done_peer_counts_as_unreachable(self):
+        reg = WaitRegistry()
+        reg.mark_done(1)
+        reg.register(WaitEdge(0, "recv", peers=(1,)), lambda: False)
+        cycle = reg.find_deadlock()
+        assert [e.rank for e in cycle] == [0]
+
+    def test_unregister_clears_the_edge(self):
+        reg = WaitRegistry()
+        reg.register(WaitEdge(0, "recv", peers=(1,)), lambda: False)
+        reg.register(WaitEdge(1, "recv", peers=(0,)), lambda: False)
+        reg.unregister(1)
+        assert reg.find_deadlock() is None
+
+    def test_format_cycle_flags_finished_peers(self):
+        text = format_cycle(
+            [WaitEdge(0, "recv", peers=(1,), tag=4, detail="source=1")],
+            done={1})
+        assert "rank 0" in text
+        assert "tag=4" in text
+        assert "rank 1 (finished)" in text
+
+    def test_deadlock_error_is_simmpi_error(self):
+        assert issubclass(DeadlockError, SimMPIError)

@@ -131,8 +131,9 @@ def test_deadlock_detection():
     def fn(comm):
         comm.recv(source=0)  # nobody sends
 
-    with pytest.raises(SimMPIError, match="timed out"):
-        run_ranks(2, fn, timeout=0.3)
+    # The wait-for detector names the stuck recv; no timeout ripening.
+    with pytest.raises(SimMPIError, match="deadlock detected"):
+        run_ranks(2, fn, timeout=30.0)
 
 
 def test_exception_propagates_and_aborts_peers():
