@@ -12,7 +12,6 @@ monitors, timings, traffic and search statistics.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +29,9 @@ from repro.mesh.annulus import make_row_mesh
 from repro.mesh.rig250 import Rig250Config
 from repro.op2.distribute import build_local_problem, build_serial_problem, plan_distribution
 from repro.smpi import Traffic, run_ranks
+from repro.telemetry.recorder import span as _tspan, use_recorder
+from repro.telemetry.timeline import Timeline, TraceSession
+from repro.util.timing import Timer
 
 _TAG_DONOR = 9000
 _TAG_RESULT = 9400
@@ -69,6 +71,9 @@ class CoupledRunConfig:
     sanitize: bool = False
     #: serialize ranks under a seeded deterministic schedule (None = off)
     schedule_seed: int | None = None
+    #: record telemetry spans on every rank; the merged
+    #: :class:`~repro.telemetry.timeline.Timeline` lands on the result
+    trace: bool = False
 
     def ranks_of(self) -> list[int]:
         n = self.rig.n_rows
@@ -111,6 +116,7 @@ class _Setup:
     directions: list[_Direction]
     nsteps: int
     n_world: int
+    tracer: TraceSession | None = None
 
 
 @dataclass
@@ -122,6 +128,8 @@ class CoupledResult:
     traffic: Traffic
     nsteps: int
     dt: float
+    #: merged cross-rank telemetry (None unless the run had trace=True)
+    timeline: Timeline | None = None
 
     def pressure_profile(self) -> tuple[np.ndarray, np.ndarray]:
         """Mean static pressure vs axial station across the machine."""
@@ -351,6 +359,7 @@ class CoupledDriver:
             cu_ranks=self.cu_ranks, interfaces=self.interfaces,
             directions=self.directions, nsteps=nsteps,
             n_world=self.n_world,
+            tracer=TraceSession() if self.cfg.trace else None,
         )
         traffic = Traffic()
         scheduler = None
@@ -364,8 +373,14 @@ class CoupledDriver:
         rows = [r for r in results if r["role"] == "hs" and r["reporter"]]
         cus = [r for r in results if r["role"] == "cu"]
         rows.sort(key=lambda r: r["row"])
+        timeline = None
+        if setup.tracer is not None:
+            for rec in setup.tracer.recorders():
+                rec.validate()
+            timeline = setup.tracer.timeline()
         return CoupledResult(rows=rows, cus=cus, traffic=traffic,
-                             nsteps=nsteps, dt=self.cfg.rig.dt_outer)
+                             nsteps=nsteps, dt=self.cfg.rig.dt_outer,
+                             timeline=timeline)
 
 
 # --------------------------------------------------------------------------
@@ -384,12 +399,16 @@ def _role_of(rank: int, setup: _Setup) -> tuple[str, int, int]:
 
 def _rank_main(world, setup: _Setup):
     role, idx, sub_idx = _role_of(world.rank, setup)
+    if setup.tracer is not None:
+        # bind this rank thread's recorder before any instrumented call
+        use_recorder(setup.tracer.recorder_for(world.rank))
     color = idx if role == "hs" else len(setup.row_ranks) + 100 + world.rank
     sub = world.split(color)
     op2.set_config(partial_halos=setup.cfg.partial_halos,
                    grouped_halos=setup.cfg.grouped_halos,
                    backend=op2.current_config().backend,
-                   sanitize=setup.cfg.sanitize)
+                   sanitize=setup.cfg.sanitize,
+                   trace=setup.tracer is not None)
     if role == "hs":
         return _hs_main(world, sub, idx, setup)
     return _cu_main(world, idx, sub_idx, setup)
@@ -438,18 +457,20 @@ def _hs_couple(world, session: HydraSession, row_idx: int, setup: _Setup,
     for d in setup.directions:
         if d.src_row != row_idx:
             continue
-        positions, values = session.donor_values(d.src_side)
-        if cfg.hs_device == "gpu":
-            # PCIe accounting: without GPU-side gather the full state
-            # array crosses the bus; with GG only the gathered values do
-            nbytes = (values.nbytes if cfg.gpu_gather
-                      else solver.q.data_with_halos.nbytes)
-            world.set_phase("pcie")
-            world.traffic.record(world.rank, world.rank, nbytes)
-        world.set_phase(f"coupler.gather:{d.k}:{d.direction}")
-        for cu_rank in setup.cu_ranks[d.k]:
-            world.send((positions, values), dest=cu_rank,
-                       tag=_tag(_TAG_DONOR, d.k, d.direction))
+        with _tspan("gather", "coupler.gather", interface=d.k,
+                    direction=d.direction):
+            positions, values = session.donor_values(d.src_side)
+            if cfg.hs_device == "gpu":
+                # PCIe accounting: without GPU-side gather the full state
+                # array crosses the bus; with GG only the gathered values do
+                nbytes = (values.nbytes if cfg.gpu_gather
+                          else solver.q.data_with_halos.nbytes)
+                world.set_phase("pcie")
+                world.traffic.record(world.rank, world.rank, nbytes)
+            world.set_phase(f"coupler.gather:{d.k}:{d.direction}")
+            for cu_rank in setup.cu_ranks[d.k]:
+                world.send((positions, values), dest=cu_rank,
+                           tag=_tag(_TAG_DONOR, d.k, d.direction))
     # 2. collect interpolated halo values
     wait = solver.timers["coupler_wait"]
     for d in setup.directions:
@@ -462,7 +483,9 @@ def _hs_couple(world, session: HydraSession, row_idx: int, setup: _Setup,
                 tag=_tag(_TAG_RESULT, d.k, d.direction))
             wait.stop()
             if positions.size:
-                session.apply_halo_values(d.dst_side, positions, values)
+                with _tspan("apply", "coupler.apply", interface=d.k,
+                            direction=d.direction):
+                    session.apply_halo_values(d.dst_side, positions, values)
     if session.sides:
         session.finish_coupling()
     world.set_phase("compute")
@@ -636,9 +659,10 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
     rig = setup.cfg.rig
     every = max(1, cfg.couple_every)
     rounds = setup.nsteps // every + 1
+    serve = Timer(name="serve", cat="coupler.serve")
     for round_idx in range(rounds):
         t = round_idx * every * rig.dt_outer
-        started = time.perf_counter()
+        serve.start()
         for d in my_dirs:
             # assemble donor grid from every src-row rank's piece
             geo = iface.side("up" if d.direction == 0 else "down")
@@ -663,8 +687,9 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
                                 dtype=np.int64)
                 world.send((positions, result.values[rows]), dest=dst_rank,
                            tag=_tag(_TAG_RESULT, d.k, d.direction))
+        serve.stop()
         acct.rounds += 1
-        acct.serve_seconds += time.perf_counter() - started
+    acct.serve_seconds = serve.elapsed
     return {
         "role": "cu",
         "interface": k,

@@ -19,6 +19,7 @@ from repro.coupler.interface import SlidingInterface
 from repro.coupler.partitioning import donor_window
 from repro.coupler.search import SearchStats, make_search
 from repro.hydra.gas import shift_frame
+from repro.telemetry.recorder import span as _tspan
 
 
 @dataclass
@@ -62,21 +63,25 @@ def cu_transfer(iface: SlidingInterface, src: str, dst: str,
     rel = np.mod(y_q - y_q[0], L)
     lo = y_q[0] + rel.min()
     hi = y_q[0] + rel.max()
-    window = donor_window(boxes, lo, hi, L, margin=margin_quads * pitch)
-    search = make_search(search_kind, boxes[window])
+    with _tspan("search_build", "coupler.search", kind=search_kind,
+                interface=iface.name):
+        window = donor_window(boxes, lo, hi, L, margin=margin_quads * pitch)
+        search = make_search(search_kind, boxes[window])
     stats.build_ops += getattr(getattr(search, "tree", None), "build_ops", 0)
 
     out = np.empty((subset.size, donor_values.shape[1]))
-    for i, (yy, zz) in enumerate(zip(y_q, z_q)):
-        hit = search.find(float(yy), float(zz))
-        if hit.quad < 0:
-            raise RuntimeError(
-                f"interface {iface.name!r} ({src}->{dst}): no donor for "
-                f"target ({yy:.6f}, {zz:.6f}) at t={t} (window of "
-                f"{len(window)} quads)"
-            )
-        quad = window[hit.quad]
-        out[i] = hit.weights @ donor_values[corners[quad]]
+    with _tspan("interpolate", "coupler.interp", targets=int(subset.size),
+                interface=iface.name):
+        for i, (yy, zz) in enumerate(zip(y_q, z_q)):
+            hit = search.find(float(yy), float(zz))
+            if hit.quad < 0:
+                raise RuntimeError(
+                    f"interface {iface.name!r} ({src}->{dst}): no donor for "
+                    f"target ({yy:.6f}, {zz:.6f}) at t={t} (window of "
+                    f"{len(window)} quads)"
+                )
+            quad = window[hit.quad]
+            out[i] = hit.weights @ donor_values[corners[quad]]
     stats.merge(search.stats)
 
     du = iface.side(dst).frame_velocity - iface.side(src).frame_velocity

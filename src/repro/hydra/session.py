@@ -17,6 +17,7 @@ import numpy as np
 from repro.hydra.solver import HydraSolver
 from repro.mesh.annulus import RowMesh
 from repro.op2.distribute import RankLayout
+from repro.telemetry.recorder import active_recorder
 
 
 @dataclass
@@ -94,6 +95,9 @@ class HydraSession:
         """(flat positions, conserved values) of owned donor-grid nodes."""
         info = self.sides[side]
         values = self.solver.q.data_with_halos[info._donor_local].copy()
+        rec = active_recorder()
+        if rec is not None:
+            rec.counter("coupler.donor_values_served", len(values))
         return info.owned_donor_pos, values
 
     def apply_halo_values(self, side: str, positions: np.ndarray,
@@ -114,6 +118,9 @@ class HydraSession:
                 f"position {exc} is not an owned halo node of side {side!r}"
             ) from None
         self.solver.q.data_with_halos[info._halo_local[rows]] = values
+        rec = active_recorder()
+        if rec is not None:
+            rec.counter("coupler.halo_values_applied", len(positions))
 
     def finish_coupling(self) -> None:
         """Collectively mark the state stale after halo injection."""

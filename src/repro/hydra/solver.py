@@ -18,6 +18,7 @@ from repro.hydra.gas import GAMMA, FlowState, primitives
 from repro.hydra.kernels import KERNELS
 from repro.mesh.config import RowConfig
 from repro.op2.distribute import LocalProblem
+from repro.telemetry.recorder import span as _tspan
 from repro.util.timing import TimerRegistry
 
 
@@ -60,7 +61,11 @@ class HydraSolver:
         self.dt_outer = float(dt_outer)
         self.time = 0.0
         self.step = 0
-        self.timers = TimerRegistry()
+        # phase timers double as telemetry span sources (see util.timing)
+        self.timers = TimerRegistry(categories={
+            "coupler_wait": "coupler.wait",
+            "physical_step": "hydra.step",
+        })
 
         s = local.sets
         d = local.dats
@@ -190,6 +195,10 @@ class HydraSolver:
 
     def inner_iteration(self) -> None:
         """One pseudo-time RK cycle towards the implicit physical step."""
+        with _tspan("inner_iteration", "hydra.inner", step=self.step):
+            self._inner_iteration()
+
+    def _inner_iteration(self) -> None:
         b = self.num.backend
         lp = self.local
         op2.par_loop(KERNELS["save_state"], self.nodes,

@@ -44,6 +44,11 @@ class Config:
         per-loop overrides. A plan with a same-color conflict raises
         :class:`~repro.op2.backends.sanitizer.RaceError` instead of
         silently corrupting data.
+    trace:
+        Emit telemetry spans (compute/halo per par_loop, plan builds,
+        smpi messages and collectives) into this thread's
+        :class:`~repro.telemetry.recorder.RankRecorder`. Implies
+        per-kernel timing even when ``profile`` is off.
     """
 
     backend: str = "vectorized"
@@ -54,6 +59,7 @@ class Config:
     profile: bool = False
     check_access: bool = False
     sanitize: bool = False
+    trace: bool = False
 
 
 _default = Config()

@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.telemetry.recorder import span as _tspan
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.op2.dat import Dat
     from repro.op2.set import Set
@@ -93,26 +95,31 @@ def exchange_halos(sset: "Set", dats: Sequence["Dat"], scope: str = "full",
     comm = halo.comm
     comm.set_phase(f"halo:{effective}" + (":grouped" if grouped else ""))
 
-    if grouped:
-        for nbr, sidx in plan.send.items():
-            packed = np.concatenate(
-                [d.data_with_halos[sidx].reshape(len(sidx), -1) for d in dats],
-                axis=1,
-            )
-            comm.send(packed, dest=nbr, tag=_HALO_TAG)
-        for nbr, ridx in plan.recv.items():
-            packed = comm.recv(source=nbr, tag=_HALO_TAG)
-            offset = 0
-            for d in dats:
-                d.data_with_halos[ridx] = packed[:, offset:offset + d.dim]
-                offset += d.dim
-    else:
-        for i, d in enumerate(dats):
+    with _tspan("exchange_halos", "op2.halo.exchange", set=sset.name,
+                scope=effective, grouped=grouped, ndats=len(dats)):
+        if grouped:
             for nbr, sidx in plan.send.items():
-                comm.send(d.data_with_halos[sidx], dest=nbr, tag=_HALO_TAG + i)
-        for i, d in enumerate(dats):
+                packed = np.concatenate(
+                    [d.data_with_halos[sidx].reshape(len(sidx), -1)
+                     for d in dats],
+                    axis=1,
+                )
+                comm.send(packed, dest=nbr, tag=_HALO_TAG)
             for nbr, ridx in plan.recv.items():
-                d.data_with_halos[ridx] = comm.recv(source=nbr, tag=_HALO_TAG + i)
+                packed = comm.recv(source=nbr, tag=_HALO_TAG)
+                offset = 0
+                for d in dats:
+                    d.data_with_halos[ridx] = packed[:, offset:offset + d.dim]
+                    offset += d.dim
+        else:
+            for i, d in enumerate(dats):
+                for nbr, sidx in plan.send.items():
+                    comm.send(d.data_with_halos[sidx], dest=nbr,
+                              tag=_HALO_TAG + i)
+            for i, d in enumerate(dats):
+                for nbr, ridx in plan.recv.items():
+                    d.data_with_halos[ridx] = comm.recv(source=nbr,
+                                                        tag=_HALO_TAG + i)
 
     comm.set_phase("compute")
     for d in dats:

@@ -99,7 +99,8 @@ class ParLoop:
         if cfg.sanitize:  # sanitize mode audits every loop, overrides all
             backend_name = "sanitizer"
         backend = resolve_backend(backend_name or cfg.backend)
-        profiling = cfg.profile
+        tracing = cfg.trace
+        profiling = cfg.profile or tracing
         t0 = time.perf_counter() if profiling else 0.0
         if self.iterset.is_distributed:
             halo_seconds = self._execute_distributed(backend)
@@ -110,12 +111,13 @@ class ParLoop:
             reductions.finalize(None)
             self._mark_written_stale()
         if profiling:
-            from repro.op2.profiling import current_profile
+            from repro.telemetry.recorder import current_recorder
 
             elapsed = time.perf_counter() - t0
-            current_profile().record(
+            current_recorder().record_loop(
                 self.kernel.name, compute=elapsed - halo_seconds,
-                halo=halo_seconds, elements=self.iterset.size)
+                halo=halo_seconds, elements=self.iterset.size,
+                t0=t0 if tracing else None)
 
     def _execute_distributed(self, backend: "Backend") -> float:
         """Run distributed; returns seconds spent in halo exchanges."""

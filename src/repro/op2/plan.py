@@ -26,12 +26,14 @@ count is bounded by the maximum conflict degree plus one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.op2.access import Access
 from repro.op2.map import Map
+from repro.telemetry.recorder import active_recorder
 
 #: plan cache: signature tuple -> Plan (maps held strongly so ids stay valid)
 _plan_cache: dict[tuple, "Plan | BlockPlan"] = {}
@@ -165,13 +167,21 @@ def build_plan(args, extent: int) -> Plan | None:
         return None
     key = ("elem",) + _signature(args, extent)
     cached = _plan_cache.get(key)
+    rec = active_recorder()
     if cached is not None:
+        if rec is not None:
+            rec.counter("op2.plan.cache_hit")
         return cached  # type: ignore[return-value]
 
+    t0 = time.perf_counter()
     colors, ncolors = _first_fit_colors(units, extent)
     groups = [np.nonzero(colors == c)[0] for c in range(ncolors)]
     plan = Plan(extent=extent, colors=colors, ncolors=ncolors,
                 color_groups=groups, _maps=_maps_of(args))
+    if rec is not None:
+        rec.add_span("build_plan", "op2.plan", t0, time.perf_counter(),
+                     kind="elem", extent=extent, ncolors=ncolors)
+        rec.counter("op2.plan.build")
     _plan_cache[key] = plan
     return plan
 
@@ -197,9 +207,13 @@ def build_block_plan(args, extent: int, block_size: int = 256) -> BlockPlan | No
     units = list(merged.values())
     key = ("block", block_size) + _signature(args, extent)
     cached = _plan_cache.get(key)
+    rec = active_recorder()
     if cached is not None:
+        if rec is not None:
+            rec.counter("op2.plan.cache_hit")
         return cached  # type: ignore[return-value]
 
+    t0 = time.perf_counter()
     nblocks = max(1, -(-extent // block_size))
     row_of = [
         np.arange(b * block_size, min((b + 1) * block_size, extent),
@@ -211,6 +225,10 @@ def build_block_plan(args, extent: int, block_size: int = 256) -> BlockPlan | No
     plan = BlockPlan(extent=extent, block_size=block_size, nblocks=nblocks,
                      block_colors=block_colors, ncolors=ncolors,
                      _maps=_maps_of(args))
+    if rec is not None:
+        rec.add_span("build_plan", "op2.plan", t0, time.perf_counter(),
+                     kind="block", extent=extent, ncolors=ncolors)
+        rec.counter("op2.plan.build")
     _plan_cache[key] = plan
     return plan
 

@@ -2,44 +2,49 @@
 
 OP2's generated code is instrumented per loop; the paper's analysis
 (compute vs halo vs coupler) starts from exactly this breakdown. When
-``Config.profile`` is on, every par_loop records its wall-clock under
-its kernel name, split into halo-exchange time and compute time, into
-a thread-local profile (each simulated-MPI rank gets its own).
+``Config.profile`` (or ``Config.trace``) is on, every par_loop records
+its wall-clock under its kernel name, split into halo-exchange time and
+compute time.
+
+Since the telemetry subsystem landed, the numbers live in the thread's
+:class:`~repro.telemetry.recorder.RankRecorder` (``loop_stats``) — one
+source of truth shared with trace spans and metrics summaries — and
+:class:`LoopProfile` is a thin view over it that preserves the original
+API (``records``, ``record``, ``top``, ``total_seconds``, ``report``,
+``reset``).
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
+from repro.telemetry.recorder import (LoopStat, RankRecorder,
+                                      current_recorder)
 
-
-@dataclass
-class LoopRecord:
-    """Accumulated cost of one kernel's loops on this thread."""
-
-    calls: int = 0
-    compute_seconds: float = 0.0
-    halo_seconds: float = 0.0
-    elements: int = 0
-
-    @property
-    def total_seconds(self) -> float:
-        return self.compute_seconds + self.halo_seconds
+#: Legacy name — the record type now lives in repro.telemetry.
+LoopRecord = LoopStat
 
 
 class LoopProfile:
-    """A per-thread registry of :class:`LoopRecord`."""
+    """Per-kernel cost view over a telemetry recorder's ``loop_stats``.
 
-    def __init__(self) -> None:
-        self.records: dict[str, LoopRecord] = {}
+    By default binds to the calling thread's recorder, so profiles keep
+    their historical per-rank (= per-thread) scoping.
+    """
+
+    def __init__(self, recorder: RankRecorder | None = None) -> None:
+        self._recorder = recorder
+
+    @property
+    def recorder(self) -> RankRecorder:
+        return self._recorder if self._recorder is not None \
+            else current_recorder()
+
+    @property
+    def records(self) -> dict[str, LoopRecord]:
+        return self.recorder.loop_stats
 
     def record(self, kernel_name: str, compute: float, halo: float,
                elements: int) -> None:
-        rec = self.records.setdefault(kernel_name, LoopRecord())
-        rec.calls += 1
-        rec.compute_seconds += compute
-        rec.halo_seconds += halo
-        rec.elements += elements
+        self.recorder.record_loop(kernel_name, compute, halo, elements)
 
     def top(self, n: int = 10) -> list[tuple[str, LoopRecord]]:
         """The n most expensive kernels, by total time."""
@@ -68,16 +73,9 @@ class LoopProfile:
         self.records.clear()
 
 
-_tls = threading.local()
-
-
 def current_profile() -> LoopProfile:
-    """This thread's loop profile (created on first use)."""
-    prof = getattr(_tls, "profile", None)
-    if prof is None:
-        prof = LoopProfile()
-        _tls.profile = prof
-    return prof
+    """This thread's loop profile (a view over its telemetry recorder)."""
+    return LoopProfile()
 
 
 def reset_profile() -> None:

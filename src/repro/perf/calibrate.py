@@ -186,6 +186,36 @@ def fit(x0: dict[str, float] | None = None, verbose: bool = False
     return _build(values)
 
 
+def unit_seconds_from_metrics(doc: dict) -> float:
+    """Measured seconds per node update from a telemetry metrics doc.
+
+    ``doc`` is a ``repro-telemetry-metrics-v1`` summary (see
+    :mod:`repro.telemetry.metrics`): the per-kernel compute seconds and
+    element counts give exactly the ``unit_seconds`` quantity the cost
+    model is parameterized by — so the model can be calibrated from a
+    recorded run instead of a separate ad-hoc timing pass.
+    """
+    kernels = doc.get("kernels") or {}
+    compute = sum(k["compute_seconds"] for k in kernels.values())
+    elements = sum(k["elements"] for k in kernels.values())
+    if elements <= 0:
+        raise ValueError("metrics doc records no loop elements; was the "
+                         "run traced or profiled?")
+    return compute / elements
+
+
+def calibrate_unit_seconds(doc: dict, machine: str = "local",
+                           base: Calibration | None = None) -> Calibration:
+    """A copy of ``base`` with ``unit_seconds[machine]`` measured from
+    a telemetry metrics doc (defaults to the paper-anchored
+    :data:`CALIBRATION`)."""
+    base = base if base is not None else CALIBRATION
+    cal = replace(base)
+    cal.unit_seconds = dict(base.unit_seconds)
+    cal.unit_seconds[machine] = unit_seconds_from_metrics(doc)
+    return cal
+
+
 def _default_calibration() -> Calibration:
     """The baked output of ``fit()`` (see test_perf_calibration)."""
     return _build(dict(

@@ -38,6 +38,7 @@ Design notes
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -46,6 +47,7 @@ import numpy as np
 from repro.smpi.deadlock import WaitEdge, WaitRegistry
 from repro.smpi.errors import DeadlockError, SimAbort, SimMPIError
 from repro.smpi.traffic import Traffic, payload_nbytes
+from repro.telemetry.recorder import active_recorder, span as _tspan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.smpi.schedule import DeterministicScheduler
@@ -343,22 +345,49 @@ class SimComm:
         if not 0 <= dest < self.size:
             raise SimMPIError(f"send dest {dest} out of range [0, {self.size})")
         payload = _copy_payload(obj)
+        nbytes = payload_nbytes(obj)
         self._state.traffic.record(
-            self.world_rank, self._state.world_ranks[dest], payload_nbytes(obj)
+            self.world_rank, self._state.world_ranks[dest], nbytes
         )
+        rec = active_recorder()
+        if rec is not None:
+            rec.instant("send", "smpi.send",
+                        dst=self._state.world_ranks[dest], tag=tag,
+                        nbytes=nbytes,
+                        phase=self._state.traffic.phase_of(self.world_rank))
+            rec.counter("smpi.messages")
+            rec.counter("smpi.nbytes", nbytes)
         self._state.mailboxes[dest].put(self.rank, tag, payload)
         if self._state.scheduler is not None:
             self._state.scheduler.maybe_yield()
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload."""
-        msg = self._state.mailboxes[self.rank].get(source, tag, self._state.timeout)
+        rec = active_recorder()
+        if rec is None:
+            msg = self._state.mailboxes[self.rank].get(
+                source, tag, self._state.timeout)
+            return msg.payload
+        t0 = time.perf_counter()
+        msg = self._state.mailboxes[self.rank].get(source, tag,
+                                                   self._state.timeout)
+        rec.add_span("recv", "smpi.recv", t0, time.perf_counter(),
+                     src=self._state.world_ranks[msg.src], tag=msg.tag)
         return msg.payload
 
     def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
                     ) -> tuple[Any, int, int]:
         """Blocking receive returning ``(payload, source, tag)``."""
-        msg = self._state.mailboxes[self.rank].get(source, tag, self._state.timeout)
+        rec = active_recorder()
+        if rec is None:
+            msg = self._state.mailboxes[self.rank].get(
+                source, tag, self._state.timeout)
+            return msg.payload, msg.src, msg.tag
+        t0 = time.perf_counter()
+        msg = self._state.mailboxes[self.rank].get(source, tag,
+                                                   self._state.timeout)
+        rec.add_span("recv", "smpi.recv", t0, time.perf_counter(),
+                     src=self._state.world_ranks[msg.src], tag=msg.tag)
         return msg.payload, msg.src, msg.tag
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -395,47 +424,52 @@ class SimComm:
             raise SimMPIError("barrier timed out — deadlock?") from exc
 
     def barrier(self) -> None:
-        self._barrier_wait()
-        self._barrier_wait()  # second phase so reuse cannot overtake
+        with _tspan("barrier", "smpi.collective", size=self.size):
+            self._barrier_wait()
+            self._barrier_wait()  # second phase so reuse cannot overtake
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        coll = self._state.collective
-        if self.rank == root:
-            coll.result = _copy_payload(obj)
-        self._barrier_wait()
-        value = _copy_payload(coll.result)
-        self._barrier_wait()
-        return value
+        with _tspan("bcast", "smpi.collective", size=self.size):
+            coll = self._state.collective
+            if self.rank == root:
+                coll.result = _copy_payload(obj)
+            self._barrier_wait()
+            value = _copy_payload(coll.result)
+            self._barrier_wait()
+            return value
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        coll = self._state.collective
-        coll.slots[self.rank] = _copy_payload(obj)
-        self._barrier_wait()
-        result = list(coll.slots) if self.rank == root else None
-        self._barrier_wait()
-        return result
+        with _tspan("gather", "smpi.collective", size=self.size):
+            coll = self._state.collective
+            coll.slots[self.rank] = _copy_payload(obj)
+            self._barrier_wait()
+            result = list(coll.slots) if self.rank == root else None
+            self._barrier_wait()
+            return result
 
     def allgather(self, obj: Any) -> list[Any]:
-        coll = self._state.collective
-        coll.slots[self.rank] = _copy_payload(obj)
-        self._barrier_wait()
-        result = [_copy_payload(s) for s in coll.slots]
-        self._barrier_wait()
-        return result
+        with _tspan("allgather", "smpi.collective", size=self.size):
+            coll = self._state.collective
+            coll.slots[self.rank] = _copy_payload(obj)
+            self._barrier_wait()
+            result = [_copy_payload(s) for s in coll.slots]
+            self._barrier_wait()
+            return result
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        coll = self._state.collective
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise SimMPIError(
-                    f"scatter root must supply {self.size} items, got "
-                    f"{None if objs is None else len(objs)}"
-                )
-            coll.result = [_copy_payload(o) for o in objs]
-        self._barrier_wait()
-        value = _copy_payload(coll.result[self.rank])
-        self._barrier_wait()
-        return value
+        with _tspan("scatter", "smpi.collective", size=self.size):
+            coll = self._state.collective
+            if self.rank == root:
+                if objs is None or len(objs) != self.size:
+                    raise SimMPIError(
+                        f"scatter root must supply {self.size} items, got "
+                        f"{None if objs is None else len(objs)}"
+                    )
+                coll.result = [_copy_payload(o) for o in objs]
+            self._barrier_wait()
+            value = _copy_payload(coll.result[self.rank])
+            self._barrier_wait()
+            return value
 
     def reduce(self, obj: Any, op: Callable[[Any, Any], Any] | str = "sum",
                root: int = 0) -> Any | None:
@@ -446,28 +480,31 @@ class SimComm:
         fn = _REDUCE_OPS.get(op, op) if isinstance(op, str) else op
         if isinstance(op, str) and op not in _REDUCE_OPS:
             raise SimMPIError(f"unknown reduce op {op!r}; use one of {sorted(_REDUCE_OPS)}")
-        coll = self._state.collective
-        coll.slots[self.rank] = _copy_payload(obj)
-        idx = self._barrier_wait()
-        if idx == 0:
-            acc = coll.slots[0]
-            for other in coll.slots[1:]:
-                acc = fn(acc, other)
-            coll.result = acc
-        self._barrier_wait()
-        value = _copy_payload(coll.result)
-        self._barrier_wait()
-        return value
+        with _tspan("allreduce", "smpi.collective", size=self.size):
+            coll = self._state.collective
+            coll.slots[self.rank] = _copy_payload(obj)
+            idx = self._barrier_wait()
+            if idx == 0:
+                acc = coll.slots[0]
+                for other in coll.slots[1:]:
+                    acc = fn(acc, other)
+                coll.result = acc
+            self._barrier_wait()
+            value = _copy_payload(coll.result)
+            self._barrier_wait()
+            return value
 
     def alltoall(self, objs: Sequence[Any]) -> list[Any]:
         if len(objs) != self.size:
             raise SimMPIError(f"alltoall needs {self.size} items, got {len(objs)}")
-        coll = self._state.collective
-        coll.slots[self.rank] = [_copy_payload(o) for o in objs]
-        self._barrier_wait()
-        result = [_copy_payload(coll.slots[src][self.rank]) for src in range(self.size)]
-        self._barrier_wait()
-        return result
+        with _tspan("alltoall", "smpi.collective", size=self.size):
+            coll = self._state.collective
+            coll.slots[self.rank] = [_copy_payload(o) for o in objs]
+            self._barrier_wait()
+            result = [_copy_payload(coll.slots[src][self.rank])
+                      for src in range(self.size)]
+            self._barrier_wait()
+            return result
 
     # -- communicator management ---------------------------------------
     def split(self, color: int, key: int | None = None) -> "SimComm | None":

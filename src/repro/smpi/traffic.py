@@ -23,21 +23,29 @@ import numpy as np
 def payload_nbytes(obj: object) -> int:
     """Best-effort wire size of a message payload in bytes.
 
-    numpy arrays report their buffer size exactly; tuples/lists of
-    arrays sum their parts plus a small per-item header; everything
-    else falls back to its pickle length (our coupler protocol sends
-    small tuples, so the fallback is rarely hot).
+    numpy arrays and scalars report their buffer size exactly;
+    containers (tuples/lists/sets/dicts, arbitrarily nested) sum their
+    parts plus a small per-item header, so a dict of numpy arrays is
+    accounted by buffer size rather than by its (much larger) pickle
+    length. Only genuinely opaque objects fall back to pickle.
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (tuple, list)):
-        return sum(payload_nbytes(item) + 8 for item in obj)
-    if isinstance(obj, (bytes, bytearray)):
+    if isinstance(obj, np.generic):  # np.int64/np.float32/... scalars
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
+    # bool before int is unnecessary (bool subclasses int) but numpy
+    # float64 subclasses float, so these cover both plain and promoted
+    # python scalars
     if isinstance(obj, (int, float, bool)) or obj is None:
         return 8
+    if isinstance(obj, complex):
+        return 16
     if isinstance(obj, str):
         return len(obj.encode())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(payload_nbytes(item) + 8 for item in obj)
     if isinstance(obj, dict):
         return sum(payload_nbytes(k) + payload_nbytes(v) + 8 for k, v in obj.items())
     try:

@@ -1,0 +1,83 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) JSON export.
+
+Emits the JSON Object Format: a ``traceEvents`` array of complete
+("X"), instant ("i") and metadata ("M") events. Timestamps are
+microseconds relative to the earliest span, pid is the single simulated
+process, and tid is the simulated-MPI rank, so Perfetto renders one lane
+per rank.
+"""
+
+from __future__ import annotations
+
+import json
+
+_ALLOWED_PH = {"X", "i", "M"}
+
+
+def chrome_trace(timeline) -> dict:
+    """Render a :class:`~repro.telemetry.timeline.Timeline` as a
+    Chrome-trace document (a plain JSON-serializable dict)."""
+    events: list[dict] = []
+    for rank in timeline.ranks:
+        events.append({"ph": "M", "name": "process_name", "pid": 0,
+                       "tid": rank, "args": {"name": "repro"}})
+        events.append({"ph": "M", "name": "thread_name", "pid": 0,
+                       "tid": rank, "args": {"name": f"rank {rank}"}})
+    origin = min((s.t0 for s in timeline.spans), default=0.0)
+    for s in timeline.spans:
+        ts = (s.t0 - origin) * 1e6
+        if s.is_instant:
+            ev = {"ph": "i", "name": s.name, "cat": s.cat, "ts": ts,
+                  "pid": 0, "tid": s.rank, "s": "t"}
+        else:
+            ev = {"ph": "X", "name": s.name, "cat": s.cat, "ts": ts,
+                  "dur": s.duration * 1e6, "pid": 0, "tid": s.rank}
+        if s.args:
+            ev["args"] = dict(s.args)
+        events.append(ev)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": dict(timeline.counters)},
+    }
+
+
+def validate_chrome_trace(doc) -> None:
+    """Minimal schema check; raises :class:`ValueError` on violation.
+
+    This is the same check the CI trace job runs against the emitted
+    artifact — enough to guarantee Perfetto can load the file.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty array")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in _ALLOWED_PH:
+            raise ValueError(f"traceEvents[{i}]: unknown phase {ph!r}")
+        if "name" not in ev or "pid" not in ev or "tid" not in ev:
+            raise ValueError(f"traceEvents[{i}]: missing name/pid/tid")
+        if ph == "X":
+            if not isinstance(ev.get("ts"), (int, float)):
+                raise ValueError(f"traceEvents[{i}]: X event needs numeric ts")
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{i}]: X event needs non-negative dur")
+        elif ph == "i":
+            if not isinstance(ev.get("ts"), (int, float)):
+                raise ValueError(f"traceEvents[{i}]: i event needs numeric ts")
+
+
+def write_chrome_trace(path, timeline_or_doc) -> dict:
+    """Write a trace JSON file; accepts a Timeline or a rendered doc."""
+    doc = (timeline_or_doc if isinstance(timeline_or_doc, dict)
+           else chrome_trace(timeline_or_doc))
+    validate_chrome_trace(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc

@@ -4,12 +4,20 @@ The solver, coupler and benchmarks all report time breakdowns
 (compute vs halo exchange vs coupler wait), so timers are first-class:
 cheap to start/stop, nestable by name, and aggregatable across
 simulated MPI ranks.
+
+Timers double as telemetry span sources: give a timer (or its
+registry) a ``cat`` and every completed interval is also recorded as a
+span on the thread's active :class:`~repro.telemetry.recorder.RankRecorder`
+— this is how the coupler's wait/serve timers show up on traces without
+a second timing mechanism.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+
+from repro.telemetry.recorder import active_recorder
 
 
 @dataclass
@@ -19,12 +27,15 @@ class Timer:
     Use either as a context manager or with explicit
     :meth:`start`/:meth:`stop` pairs. ``elapsed`` accumulates across
     start/stop cycles; ``count`` records the number of completed
-    intervals so callers can compute means.
+    intervals so callers can compute means. When ``cat`` is set, each
+    completed interval also emits a telemetry span under that category
+    (no-op unless the thread has tracing enabled).
     """
 
     name: str = ""
     elapsed: float = 0.0
     count: int = 0
+    cat: str | None = None
     _t0: float | None = field(default=None, repr=False)
 
     def start(self) -> "Timer":
@@ -36,7 +47,12 @@ class Timer:
     def stop(self) -> float:
         if self._t0 is None:
             raise RuntimeError(f"timer {self.name!r} not running")
-        dt = time.perf_counter() - self._t0
+        t1 = time.perf_counter()
+        dt = t1 - self._t0
+        if self.cat is not None:
+            rec = active_recorder()
+            if rec is not None:
+                rec.add_span(self.name, self.cat, self._t0, t1)
         self._t0 = None
         self.elapsed += dt
         self.count += 1
@@ -69,15 +85,23 @@ class TimerRegistry:
     Each rank of a simulated MPI run owns one registry; the driver
     merges registries to report per-phase maxima/means, mirroring how
     the paper reports coupler-wait percentages.
+
+    ``categories`` maps timer names to telemetry span categories
+    (``default_category`` covers the rest; pass ``None`` to keep
+    unlisted timers off traces).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, categories: dict[str, str] | None = None,
+                 default_category: str | None = None) -> None:
         self._timers: dict[str, Timer] = {}
+        self._categories = dict(categories or {})
+        self._default_category = default_category
 
     def __getitem__(self, name: str) -> Timer:
         timer = self._timers.get(name)
         if timer is None:
-            timer = Timer(name=name)
+            cat = self._categories.get(name, self._default_category)
+            timer = Timer(name=name, cat=cat)
             self._timers[name] = timer
         return timer
 

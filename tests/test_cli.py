@@ -57,6 +57,32 @@ def test_missing_command_rejected():
         main([])
 
 
+def test_trace_writes_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_chrome_trace, validate_metrics
+
+    out = tmp_path / "trace_out"
+    assert main(["trace", "--rows", "2", "--steps", "2", "--nt", "12",
+                 "--seed", "11", "--out", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "trace.json" in stdout and "metrics.json" in stdout
+
+    trace_doc = json.loads((out / "trace.json").read_text())
+    validate_chrome_trace(trace_doc)
+    assert any(e["ph"] == "X" for e in trace_doc["traceEvents"])
+
+    metrics = json.loads((out / "metrics.json").read_text())
+    validate_metrics(metrics)
+    assert metrics["breakdown"]["compute"] > 0
+    assert metrics["breakdown"]["coupler"] > 0
+    assert metrics["meta"]["case"] == "coupled-rig250"
+    # breakdown must reproduce the per-kernel (LoopProfile) totals
+    assert metrics["breakdown"]["compute"] == pytest.approx(sum(
+        k["compute_seconds"] for k in metrics["kernels"].values()))
+    assert metrics["traffic"]  # per-phase message accounting included
+
+
 def test_report_all_claims_pass(capsys):
     assert main(["report"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""payload_nbytes accounting and the Traffic ledger.
+
+The communication-avoidance comparisons (Table III) are measured in
+bytes, so payload sizing must be exact for the payloads the runtime
+actually sends: numpy arrays, and dicts/tuples/lists of numpy arrays
+(grouped halo exchanges, coupler gathers). Pickle-length estimates
+would inflate those by the pickle framing and make the PH/GH ratios
+wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.smpi.traffic import Traffic, payload_nbytes
+
+
+class TestPayloadNbytesExact:
+    def test_ndarray_is_buffer_size(self):
+        a = np.zeros((10, 5))
+        assert payload_nbytes(a) == a.nbytes == 400
+        assert payload_nbytes(np.zeros(7, dtype=np.float32)) == 28
+        assert payload_nbytes(np.zeros(0)) == 0
+
+    def test_numpy_scalars_by_itemsize(self):
+        assert payload_nbytes(np.int64(3)) == 8
+        assert payload_nbytes(np.float32(1.5)) == 4
+        assert payload_nbytes(np.bool_(True)) == 1
+
+    def test_raw_buffers_by_length(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(12)) == 12
+        assert payload_nbytes(memoryview(b"xyz")) == 3
+
+    def test_python_scalars(self):
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(True) == 8
+        assert payload_nbytes(None) == 8
+        assert payload_nbytes(1 + 2j) == 16
+        assert payload_nbytes("halo") == 4
+        assert payload_nbytes("ü") == 2  # encoded length, not str length
+
+    def test_dict_of_arrays_sums_buffers(self):
+        """The grouped-halo payload shape: {dat_name: array}."""
+        payload = {"q": np.zeros(100), "grad": np.zeros((100, 3))}
+        expected = (payload_nbytes("q") + 800 + 8
+                    + payload_nbytes("grad") + 2400 + 8)
+        assert payload_nbytes(payload) == expected
+
+    def test_nested_containers(self):
+        inner = np.zeros(4)  # 32 bytes
+        payload = {"blocks": [inner, inner], "meta": (1, "x")}
+        blocks_v = (32 + 8) * 2
+        meta_v = (8 + 8) + (1 + 8)
+        expected = (payload_nbytes("blocks") + blocks_v + 8
+                    + payload_nbytes("meta") + meta_v + 8)
+        assert payload_nbytes(payload) == expected
+
+    def test_sets_and_tuples(self):
+        assert payload_nbytes((np.zeros(2), np.zeros(3))) == (16 + 8) + (24 + 8)
+        assert payload_nbytes({1, 2, 3}) == 3 * (8 + 8)
+        assert payload_nbytes(frozenset([b"ab"])) == 2 + 8
+
+    def test_dict_far_below_pickle_size(self):
+        """The reason for exact container accounting: pickle inflates."""
+        import pickle
+
+        payload = {f"dat_{i}": np.zeros(50) for i in range(4)}
+        exact = payload_nbytes(payload)
+        assert exact < len(pickle.dumps(payload))
+        raw = sum(v.nbytes for v in payload.values())
+        assert exact - raw < 100  # only key strings + per-item headers
+
+    def test_opaque_object_falls_back_to_pickle(self):
+        import pickle
+
+        obj = range(1000)  # no branch above matches ranges
+        assert payload_nbytes(obj) == len(
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def test_unpicklable_object_uses_floor(self):
+        assert payload_nbytes(lambda: None) == 64
+
+
+class TestTrafficLedger:
+    def test_phase_attribution_and_by_phase(self):
+        t = Traffic()
+        t.set_phase(0, "halo")
+        t.record(0, 1, 100)
+        t.record(0, 1, 50)
+        t.set_phase(0, "coupler.gather")
+        t.record(0, 2, 7)
+        t.record(3, 0, 11)  # rank 3 never set a phase -> "default"
+        assert t.by_phase() == {
+            "halo": {"messages": 2, "nbytes": 150},
+            "coupler.gather": {"messages": 1, "nbytes": 7},
+            "default": {"messages": 1, "nbytes": 11},
+        }
+        assert t.total_messages() == 4
+        assert t.total_nbytes("halo") == 150
+
+    def test_fingerprint_is_order_sensitive(self):
+        a, b = Traffic(), Traffic()
+        a.record(0, 1, 10)
+        a.record(1, 0, 20)
+        b.record(1, 0, 20)
+        b.record(0, 1, 10)
+        assert a.total_nbytes() == b.total_nbytes()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_comm_send_accounts_container_payloads(self):
+        """End to end: a dict-of-arrays send lands as exact bytes."""
+        from repro.smpi import run_ranks
+
+        payload = {"q": np.zeros(100), "grad": np.zeros((100, 3))}
+        traffic = Traffic()
+
+        def main(world):
+            if world.rank == 0:
+                world.send(payload, dest=1, tag=0)
+            else:
+                world.recv(source=0, tag=0)
+
+        run_ranks(2, main, traffic=traffic)
+        assert traffic.total_nbytes() == payload_nbytes(payload)
+        assert traffic.total_messages() == 1
