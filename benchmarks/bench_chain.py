@@ -1,0 +1,197 @@
+"""Loop-chain batching — lazy vs eager halo traffic and wall time.
+
+Measured layer: two real distributed workloads run both eagerly and
+under the lazy loop-chain runtime (``Config.lazy``), bitwise-compared,
+with halo messages / bytes from the smpi traffic ledger and wall time
+as best-of-N over barrier-bracketed iteration sections:
+
+* **airfoil pseudo-timestep** — the canonical OP2 demo app. Its state
+  is read through several different cell maps per sweep, so the eager
+  dirty bit re-exchanges per map while the chain's staleness analysis
+  issues one union-scope exchange per write-free window: the chain
+  cuts real halo messages (this file asserts the >= 25% bar).
+* **Hydra inner iteration** — the solver's chained Runge-Kutta sweep.
+  Hydra's boundary maps are ownership-aligned (empty exchange plans),
+  so its eager message count is already minimal; what the chain elides
+  there is exchange *calls* (empty boundary refreshes) and per-loop
+  dispatch via fusion. Messages stay at parity by construction — the
+  bench reports the call elision and wall time honestly rather than
+  claiming a message win that structurally cannot exist.
+
+Wall-time caveat: the simulated MPI ranks are threads, so on a
+single-core host the split-phase (begin/end) exchanges cannot hide
+latency behind compute — wall deltas here come only from doing less
+total work (fewer messages, fused dispatch, elided calls). The
+message/round reductions are the portable signal.
+
+Writes ``benchmarks/out/BENCH_chain.json`` (telemetry bench schema).
+"""
+
+import pathlib
+import time
+
+import numpy as np
+
+from repro import op2
+from repro.apps import (AirfoilApp, airfoil_owners, airfoil_problem,
+                        make_airfoil_mesh)
+from repro.hydra import FlowState, HydraSolver, Numerics, row_problem
+from repro.hydra.problem import row_owners
+from repro.mesh import RowConfig, RowKind, make_row_mesh
+from repro.op2.distribute import build_local_problem, gather_dat, plan_distribution
+from repro.smpi import Traffic, run_ranks
+from repro.telemetry import write_bench_summary
+from repro.util.tables import format_table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: wall time is best-of-REPS (robust to thread-scheduling noise)
+REPS = 5
+
+
+def _halo_traffic(traffic: Traffic) -> tuple[int, int]:
+    msgs = nbytes = 0
+    for phase, counts in traffic.by_phase().items():
+        if phase.startswith("halo"):
+            msgs += counts["messages"]
+            nbytes += counts["nbytes"]
+    return msgs, nbytes
+
+
+def run_airfoil(nranks, lazy, niter=20, ni=36, nj=9):
+    mesh = make_airfoil_mesh(ni=ni, nj=nj)
+    gp = airfoil_problem(mesh, mach=0.35)
+    layouts = plan_distribution(gp, nranks, airfoil_owners(mesh, nranks))
+    traffic = Traffic()
+
+    def rank_fn(comm):
+        op2.set_config(partial_halos=True, grouped_halos=True, lazy=lazy)
+        op2.reset_chain_stats()
+        local = build_local_problem(gp, layouts[comm.rank], comm)
+        app = AirfoilApp.from_local(mesh, local, mach=0.35)
+        app.iterate(2)  # warm wrapper/plan caches
+        comm.barrier()
+        t0 = time.perf_counter()
+        app.iterate(niter)
+        op2.flush_chain()
+        comm.barrier()
+        wall = time.perf_counter() - t0
+        st = op2.chain_stats().as_dict()
+        q = gather_dat(comm, app.q, layouts[comm.rank], mesh.ncell)
+        return wall, st, q
+
+    results = run_ranks(nranks, rank_fn, traffic=traffic)
+    msgs, nbytes = _halo_traffic(traffic)
+    return {"wall": max(r[0] for r in results), "stats": results[0][1],
+            "msgs": msgs, "bytes": nbytes, "q": results[0][2]}
+
+
+def run_hydra(nranks, lazy, steps=4, nr=4, nt=12, nx=8):
+    cfg = RowConfig(name="duct", kind=RowKind.STATOR, nr=nr, nt=nt, nx=nx,
+                    turning_velocity=0.0, work_coeff=0.0)
+    mesh = make_row_mesh(cfg)
+    inflow = FlowState(rho=1.0, ux=0.5, p=1.0)
+    gp = row_problem(mesh, inflow)
+    layouts = plan_distribution(
+        gp, nranks, row_owners(mesh, gp, nranks, scheme="strips"))
+    traffic = Traffic()
+
+    def rank_fn(comm):
+        op2.set_config(partial_halos=True, grouped_halos=True, lazy=lazy)
+        op2.reset_chain_stats()
+        local = build_local_problem(gp, layouts[comm.rank], comm)
+        s = HydraSolver(local, cfg, Numerics(inner_iters=2), dt_outer=0.05,
+                        inlet=inflow, p_out=1.0)
+        s.run(1)  # warm wrapper/plan caches
+        comm.barrier()
+        t0 = time.perf_counter()
+        s.run(steps)
+        op2.flush_chain()
+        comm.barrier()
+        wall = time.perf_counter() - t0
+        st = op2.chain_stats().as_dict()
+        q = gather_dat(comm, s.q, layouts[comm.rank], mesh.n_nodes)
+        return wall, st, q
+
+    results = run_ranks(nranks, rank_fn, traffic=traffic)
+    msgs, nbytes = _halo_traffic(traffic)
+    return {"wall": max(r[0] for r in results), "stats": results[0][1],
+            "msgs": msgs, "bytes": nbytes, "q": results[0][2]}
+
+
+def _best_of(fn, reps=REPS):
+    """Interleave-friendly best-of-N: re-run and keep the fastest wall."""
+    best = fn()
+    for _ in range(reps - 1):
+        r = fn()
+        if r["wall"] < best["wall"]:
+            best = r
+    return best
+
+
+def test_chain_vs_eager(report):
+    nranks = 4
+
+    air_e = _best_of(lambda: run_airfoil(nranks, lazy=False))
+    air_l = _best_of(lambda: run_airfoil(nranks, lazy=True))
+    assert np.array_equal(air_e["q"], air_l["q"])  # bitwise equivalence
+
+    hyd_e = _best_of(lambda: run_hydra(nranks, lazy=False))
+    hyd_l = _best_of(lambda: run_hydra(nranks, lazy=True))
+    assert np.array_equal(hyd_e["q"], hyd_l["q"])
+
+    air_saved = 100.0 * (air_e["msgs"] - air_l["msgs"]) / air_e["msgs"]
+    st = hyd_l["stats"]
+    hyd_elided = 100.0 * st["halo_elided"] / max(1, st["eager_exchanges"])
+
+    rows = []
+    for label, e, l in (("airfoil", air_e, air_l), ("hydra", hyd_e, hyd_l)):
+        rows.append([
+            label, f"{e['msgs']}", f"{l['msgs']}",
+            f"{100.0 * (e['msgs'] - l['msgs']) / e['msgs']:.1f}%",
+            f"{e['bytes'] // 1024}", f"{l['bytes'] // 1024}",
+            f"{e['wall'] * 1e3:.1f}", f"{l['wall'] * 1e3:.1f}",
+            f"{e['wall'] / l['wall']:.3f}x",
+        ])
+    report("chain batching: lazy vs eager "
+           f"({nranks} ranks, best of {REPS})\n" + format_table(
+               ["case", "msgs eager", "msgs lazy", "saved",
+                "KiB eager", "KiB lazy", "wall eager [ms]",
+                "wall lazy [ms]", "speedup"], rows) +
+           f"\nhydra exchange calls elided: {st['halo_elided']}"
+           f"/{st['eager_exchanges']} ({hyd_elided:.0f}%) — boundary maps"
+           " are ownership-aligned, so hydra's eager *message* count is"
+           " already minimal (parity is the correct result there)")
+
+    # the acceptance bar: chained execution sends >= 25% fewer halo
+    # messages; the airfoil's multi-map reads are where the elision pays
+    assert air_l["msgs"] <= 0.75 * air_e["msgs"]
+    # hydra: elision is on exchange calls, and traffic never exceeds eager
+    assert hyd_elided >= 50.0
+    assert hyd_l["msgs"] <= hyd_e["msgs"]
+
+    write_bench_summary(OUT_DIR, "chain", {
+        "airfoil_halo_messages_eager": {"value": air_e["msgs"], "unit": "messages"},
+        "airfoil_halo_messages_lazy": {"value": air_l["msgs"], "unit": "messages"},
+        "airfoil_messages_saved": {"value": air_saved, "unit": "%"},
+        "airfoil_halo_bytes_eager": {"value": air_e["bytes"], "unit": "B"},
+        "airfoil_halo_bytes_lazy": {"value": air_l["bytes"], "unit": "B"},
+        "airfoil_wall_eager": {"value": air_e["wall"], "unit": "s"},
+        "airfoil_wall_lazy": {"value": air_l["wall"], "unit": "s"},
+        "airfoil_speedup": {"value": air_e["wall"] / air_l["wall"], "unit": "x"},
+        "hydra_halo_messages_eager": {"value": hyd_e["msgs"], "unit": "messages"},
+        "hydra_halo_messages_lazy": {"value": hyd_l["msgs"], "unit": "messages"},
+        "hydra_exchange_calls_eager": {"value": st["eager_exchanges"], "unit": "calls"},
+        "hydra_exchange_calls_lazy": {"value": st["exchanges"], "unit": "calls"},
+        "hydra_exchange_calls_elided": {"value": hyd_elided, "unit": "%"},
+        "hydra_wall_eager": {"value": hyd_e["wall"], "unit": "s"},
+        "hydra_wall_lazy": {"value": hyd_l["wall"], "unit": "s"},
+        "hydra_speedup": {"value": hyd_e["wall"] / hyd_l["wall"], "unit": "x"},
+        "hydra_fused_loops": {"value": st["fused"], "unit": "loops"},
+    }, meta={
+        "nranks": nranks, "reps": REPS, "wall": "best-of-reps",
+        "equivalence": "bitwise (asserted)",
+        "note": "simulated-MPI ranks are threads; on a single-core host "
+                "split-phase exchanges cannot overlap compute, so wall "
+                "deltas reflect work elided, not latency hidden",
+    })

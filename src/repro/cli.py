@@ -217,7 +217,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         cus_per_interface=args.cus, search=args.search,
         numerics=Numerics(inner_iters=args.inner),
         inlet=FlowState(ux=0.5), p_out=args.p_out,
-        schedule_seed=args.seed, trace=True)
+        schedule_seed=args.seed, lazy=args.lazy, trace=True)
     driver = CoupledDriver(cfg)
     result = driver.run(args.steps)
     timeline = result.timeline
@@ -241,6 +241,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
           f"{len(timeline.spans)} spans")
     print(f"breakdown [s]: compute {bd['compute']:.4f}  "
           f"halo {bd['halo']:.4f}  coupler {bd['coupler']:.4f}")
+    if "halo_elided" in bd:
+        print(f"loop chains: halo exchanges elided {bd['halo_elided']:.0f}  "
+              f"messages saved {bd['messages_saved']:.0f}")
     print(f"wrote {trace_path} (open in https://ui.perfetto.dev "
           f"or chrome://tracing)")
     print(f"wrote {metrics_path}")
@@ -313,6 +316,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--search", choices=["adt", "bruteforce"], default="adt")
     p.add_argument("--seed", type=int, default=None,
                    help="deterministic schedule seed (replayable trace)")
+    p.add_argument("--lazy", action="store_true",
+                   help="lazy loop-chain execution in the Hydra Sessions "
+                        "(bitwise-equal; breakdown gains elision columns)")
     p.add_argument("--out", default="trace_out",
                    help="output directory for trace.json / metrics.json")
     p.set_defaults(fn=_cmd_trace)

@@ -69,6 +69,9 @@ class CoupledRunConfig:
     timeout: float = 300.0
     #: route every par_loop through the race-sanitizer backend
     sanitize: bool = False
+    #: lazy loop-chain execution inside each Hydra Session (the solver's
+    #: inner iteration chains; results stay bitwise-equal to eager)
+    lazy: bool = False
     #: serialize ranks under a seeded deterministic schedule (None = off)
     schedule_seed: int | None = None
     #: record telemetry spans on every rank; the merged
@@ -408,6 +411,7 @@ def _rank_main(world, setup: _Setup):
                    grouped_halos=setup.cfg.grouped_halos,
                    backend=op2.current_config().backend,
                    sanitize=setup.cfg.sanitize,
+                   lazy=setup.cfg.lazy,
                    trace=setup.tracer is not None)
     if role == "hs":
         return _hs_main(world, sub, idx, setup)

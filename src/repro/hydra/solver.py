@@ -194,9 +194,17 @@ class HydraSolver:
             self.g_wdual.data[:] = np.array([1.5, -2.0, 0.5]) * idt
 
     def inner_iteration(self) -> None:
-        """One pseudo-time RK cycle towards the implicit physical step."""
+        """One pseudo-time RK cycle towards the implicit physical step.
+
+        The whole cycle is declared as one loop chain: under
+        ``Config.lazy`` (``enabled=None`` keeps eager mode untouched
+        otherwise) the chain analyzer elides the per-map re-exchanges
+        of ``q`` across the residual loops, batches what remains, and
+        fuses adjacent node loops — bitwise-identically to eager.
+        """
         with _tspan("inner_iteration", "hydra.inner", step=self.step):
-            self._inner_iteration()
+            with op2.loop_chain("hydra.inner", enabled=None):
+                self._inner_iteration()
 
     def _inner_iteration(self) -> None:
         b = self.num.backend

@@ -31,6 +31,16 @@ Quick example::
 from repro.op2.access import INC, MAX, MIN, READ, RW, WRITE, Access
 from repro.op2.args import Arg
 from repro.op2.backends import BACKENDS, resolve_backend
+from repro.op2.chain import (
+    ChainEquivalenceError,
+    ChainStats,
+    LoopChain,
+    chain_stats,
+    current_chain,
+    flush_chain,
+    loop_chain,
+    reset_chain_stats,
+)
 from repro.op2.config import Config, configure, current_config, set_config, set_default_config
 from repro.op2.dat import Dat
 from repro.op2.distribute import (
@@ -44,7 +54,7 @@ from repro.op2.distribute import (
     plan_distribution,
 )
 from repro.op2.globals import Global
-from repro.op2.halo import ExchangePlan, SetHalo, exchange_halos
+from repro.op2.halo import ExchangePlan, SetHalo, exchange_halos, exchange_halos_multi
 from repro.op2.kernel import Kernel, KernelParseError
 from repro.op2.map import ALL, Map
 from repro.op2.parloop import ParLoop, par_loop
@@ -74,5 +84,8 @@ __all__ = [
     # distribution
     "GlobalProblem", "LocalProblem", "RankLayout", "plan_distribution",
     "build_local_problem", "build_serial_problem", "derive_owner_from_map", "gather_dat",
-    "SetHalo", "ExchangePlan", "exchange_halos",
+    "SetHalo", "ExchangePlan", "exchange_halos", "exchange_halos_multi",
+    # lazy execution / loop chains
+    "LoopChain", "loop_chain", "flush_chain", "current_chain",
+    "chain_stats", "reset_chain_stats", "ChainStats", "ChainEquivalenceError",
 ]

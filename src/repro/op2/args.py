@@ -8,6 +8,7 @@ live here so every backend can assume well-formed loops.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -59,30 +60,27 @@ class Arg:
         return cls(data=g, access=access)
 
     # -- classification ----------------------------------------------------
-    @property
-    def is_global(self) -> bool:
-        return isinstance(self.data, Global)
+    # Plain attributes, precomputed once: every backend and the chain
+    # runtime consult these many times per loop, which made the former
+    # properties a measurable share of loop-dispatch overhead.
+    is_global: bool = dataclasses.field(init=False, repr=False, compare=False)
+    is_dat: bool = dataclasses.field(init=False, repr=False, compare=False)
+    is_direct: bool = dataclasses.field(init=False, repr=False, compare=False)
+    is_indirect: bool = dataclasses.field(init=False, repr=False,
+                                          compare=False)
+    #: indirect arg passing the whole map row (idx=ALL)
+    is_vector: bool = dataclasses.field(init=False, repr=False, compare=False)
+    is_reduction: bool = dataclasses.field(init=False, repr=False,
+                                           compare=False)
 
-    @property
-    def is_dat(self) -> bool:
-        return isinstance(self.data, Dat)
-
-    @property
-    def is_direct(self) -> bool:
-        return self.is_dat and self.map is None
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.is_dat and self.map is not None
-
-    @property
-    def is_vector(self) -> bool:
-        """Indirect arg passing the whole map row (idx=ALL)."""
-        return self.is_indirect and isinstance(self.idx, _AllIndices)
-
-    @property
-    def is_reduction(self) -> bool:
-        return self.is_global and self.access in REDUCTIONS
+    def __post_init__(self) -> None:
+        self.is_global = isinstance(self.data, Global)
+        self.is_dat = isinstance(self.data, Dat)
+        self.is_direct = self.is_dat and self.map is None
+        self.is_indirect = self.is_dat and self.map is not None
+        self.is_vector = self.is_indirect and isinstance(self.idx,
+                                                         _AllIndices)
+        self.is_reduction = self.is_global and self.access in REDUCTIONS
 
     @property
     def dim(self) -> int:

@@ -13,13 +13,15 @@ they slice the iteration space and resolve scatter conflicts:
 
 from __future__ import annotations
 
+import weakref
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.op2.backends.base import ReductionBuffers
-from repro.op2.codegen.seq import compile_wrapper
-from repro.op2.codegen.vector import generate_vectorized
+from repro.op2.codegen.seq import compile_module, compile_wrapper
+from repro.op2.codegen.vector import (generate_fused_vectorized,
+                                      generate_vectorized)
 from repro.op2.config import current_config
 from repro.op2.plan import build_plan
 
@@ -38,6 +40,44 @@ def _get_wrapper(loop: "ParLoop", scatter: str):
     return wrapper
 
 
+def _get_fused_wrapper(loops: "list[ParLoop]", scatter: str):
+    key = ("fused-vec", scatter,
+           tuple((id(l.kernel), l.signature()) for l in loops))
+    wrapper = loops[0].kernel.cached(key)
+    if wrapper is None:
+        source = generate_fused_vectorized(
+            [l.kernel for l in loops],
+            [l.signature() for l in loops], scatter)
+        wrapper = compile_module(source, "fused",
+                                 f"_fused_{scatter}_wrapper")
+        loops[0].kernel.store(key, wrapper, source)
+    return wrapper
+
+
+#: per-kernel row-index arrays, keyed (start, end); lives beside the
+#: kernel's wrapper cache but dies with the kernel (weak keys)
+_rows_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _get_rows(kernel, start: int, end: int) -> np.ndarray:
+    """The row-index array for [start, end), cached per kernel.
+
+    Allocating ``np.arange`` per call showed up in loop-dispatch
+    profiles; extents are fixed per (set, loop shape), so the array is
+    cached alongside the kernel's compiled wrapper. The array is
+    marked read-only — wrappers only ever index with it.
+    """
+    per_kernel = _rows_cache.get(kernel)
+    if per_kernel is None:
+        per_kernel = _rows_cache[kernel] = {}
+    rows = per_kernel.get((start, end))
+    if rows is None:
+        rows = np.arange(start, end, dtype=np.int64)
+        rows.setflags(write=False)
+        per_kernel[(start, end)] = rows
+    return rows
+
+
 class VectorizedBackend:
     """Whole-extent numpy execution with unbuffered atomic-add scatter."""
 
@@ -47,8 +87,14 @@ class VectorizedBackend:
                 reductions: ReductionBuffers) -> None:
         wrapper = _get_wrapper(loop, "atomic")
         flat = loop.flatten_bindings(reductions)
-        rows = np.arange(start, end, dtype=np.int64)
-        wrapper(np, rows, *flat)
+        wrapper(np, _get_rows(loop.kernel, start, end), *flat)
+
+    def execute_fused(self, loops: "list[ParLoop]", start: int, end: int,
+                      reductions: list[ReductionBuffers]) -> None:
+        wrapper = _get_fused_wrapper(loops, "atomic")
+        flat = [x for l, r in zip(loops, reductions)
+                for x in l.flatten_bindings(r)]
+        wrapper(np, _get_rows(loops[0].kernel, start, end), *flat)
 
 
 class ColoringBackend:
@@ -67,7 +113,7 @@ class ColoringBackend:
         flat = loop.flatten_bindings(reductions)
         if plan is None:
             wrapper = _get_wrapper(loop, "atomic")
-            wrapper(np, np.arange(start, end, dtype=np.int64), *flat)
+            wrapper(np, _get_rows(loop.kernel, start, end), *flat)
             return
         wrapper = _get_wrapper(loop, "colored")
         for group in plan.color_groups:
@@ -93,5 +139,17 @@ class AtomicsBackend:
         flat = loop.flatten_bindings(reductions)
         block = max(1, current_config().atomics_block)
         for lo in range(start, end, block):
-            rows = np.arange(lo, min(lo + block, end), dtype=np.int64)
+            rows = _get_rows(loop.kernel, lo, min(lo + block, end))
+            wrapper(np, rows, *flat)
+
+    def execute_fused(self, loops: "list[ParLoop]", start: int, end: int,
+                      reductions: list[ReductionBuffers]) -> None:
+        # chunk-interleaved section order is safe: the chain's fusion
+        # legality check only admits element-local cross-loop deps
+        wrapper = _get_fused_wrapper(loops, "atomic")
+        flat = [x for l, r in zip(loops, reductions)
+                for x in l.flatten_bindings(r)]
+        block = max(1, current_config().atomics_block)
+        for lo in range(start, end, block):
+            rows = _get_rows(loops[0].kernel, lo, min(lo + block, end))
             wrapper(np, rows, *flat)

@@ -49,6 +49,22 @@ class Config:
         smpi messages and collectives) into this thread's
         :class:`~repro.telemetry.recorder.RankRecorder`. Implies
         per-kernel timing even when ``profile`` is off.
+    lazy:
+        Defer every par_loop into this thread's implicit
+        :class:`~repro.op2.chain.LoopChain` instead of executing
+        immediately. The chain flushes on host data access or an
+        explicit :func:`~repro.op2.chain.flush_chain`; flushing elides
+        redundant halo exchanges, batches the rest, and fuses adjacent
+        compatible loops. Results are bitwise-identical to eager mode.
+    chain_fuse:
+        Allow the chain flush to fuse adjacent compatible loops into a
+        single generated wrapper (on by default; elision and batching
+        are unaffected when off).
+    chain_verify:
+        Debug mode: every chain flush replays the loops eagerly on a
+        snapshot of the pre-flush state and bitwise-compares all
+        touched dats and reductions, raising
+        :class:`~repro.op2.chain.ChainEquivalenceError` on divergence.
     """
 
     backend: str = "vectorized"
@@ -60,6 +76,9 @@ class Config:
     check_access: bool = False
     sanitize: bool = False
     trace: bool = False
+    lazy: bool = False
+    chain_fuse: bool = True
+    chain_verify: bool = False
 
 
 _default = Config()

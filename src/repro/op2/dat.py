@@ -16,6 +16,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _dat_ids = itertools.count()
 
+_chain_sync = None
+
+
+def _sync_chain() -> None:
+    """Flush any pending loop chain before host code observes data.
+
+    Imported lazily: dat -> chain -> backends -> ... -> dat is a cycle
+    at module-import time but not at first call.
+    """
+    global _chain_sync
+    if _chain_sync is None:
+        from repro.op2.chain import sync_host_access
+
+        _chain_sync = sync_host_access
+    _chain_sync()
+
 
 class Dat:
     """Per-element data: ``dim`` values of ``dtype`` on each element.
@@ -69,12 +85,14 @@ class Dat:
     @property
     def data(self) -> np.ndarray:
         """Writable view of the *owned* entries. Marks halos stale."""
+        _sync_chain()
         self.mark_halo_stale()
         return self._data[: self.set.size]
 
     @property
     def data_ro(self) -> np.ndarray:
         """Read-only view of the owned entries."""
+        _sync_chain()
         view = self._data[: self.set.size]
         view = view.view()
         view.flags.writeable = False
@@ -83,6 +101,7 @@ class Dat:
     @property
     def data_with_halos(self) -> np.ndarray:
         """Writable view including halo entries (runtime internals only)."""
+        _sync_chain()
         return self._data
 
     def mark_halo_stale(self) -> None:
@@ -98,14 +117,18 @@ class Dat:
         """Was the halo refreshed recently enough for a read via ``scope``?
 
         ``scope`` is ``"full"`` (direct read that touches all halo
-        entries) or a :class:`Map`. A full refresh satisfies any
-        scope; a partial refresh satisfies only reads via the same map.
+        entries) or a named partial scope. A full refresh satisfies any
+        scope; a partial refresh satisfies only reads through the same
+        scope(s) — ``fresh_for`` is a frozenset after a chained
+        multi-scope exchange.
         """
         if not self.halo_fresh:
             return False
         if self.fresh_for == "full":
             return True
-        return scope is self.fresh_for
+        if isinstance(self.fresh_for, frozenset):
+            return scope in self.fresh_for or "full" in self.fresh_for
+        return scope == self.fresh_for
 
     # -- arg construction -------------------------------------------------
     def arg(self, access: Access, map: Map | None = None, idx=None) -> "Arg":
@@ -145,6 +168,7 @@ class Dat:
 
     def duplicate(self, name: str | None = None) -> "Dat":
         """Deep copy with identical layout and freshness reset."""
+        _sync_chain()
         out = Dat(self.set, self.dim, data=self._data.copy(), dtype=self.dtype,
                   name=name or f"{self.name}_copy")
         out.halo_fresh = self.halo_fresh
@@ -153,6 +177,7 @@ class Dat:
 
     def norm(self) -> float:
         """L2 norm of owned entries (local; callers allreduce if needed)."""
+        _sync_chain()
         return float(np.sqrt(np.sum(self._data[: self.set.size] ** 2)))
 
     def __repr__(self) -> str:

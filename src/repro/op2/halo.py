@@ -66,10 +66,52 @@ class SetHalo:
     n_nonexec: int
     global_ids: np.ndarray              #: local index -> global id
     plans: dict[str, ExchangePlan] = field(default_factory=dict)
+    _union_plans: dict = field(default_factory=dict, repr=False)
 
     def plan_for(self, scope: str) -> ExchangePlan:
         """The plan for ``scope``, falling back to the full exchange."""
         return self.plans.get(scope) or self.plans["full"]
+
+    def union_plan(self, scopes: frozenset) -> ExchangePlan:
+        """A plan covering every scope in ``scopes`` at once.
+
+        Built by concatenating the per-scope send/recv segments in
+        sorted scope order and dropping repeat entries at their later
+        positions. Per-scope segments are pairwise index-aligned across
+        ranks and a repeated entry names the same entity on both sides,
+        so first-occurrence dedup keeps sender and receiver aligned —
+        the union plan is as collective-safe as its constituents.
+        """
+        scopes = frozenset(scopes)
+        if "full" in scopes or any(s not in self.plans for s in scopes):
+            return self.plans["full"]
+        if len(scopes) == 1:
+            return self.plans[next(iter(scopes))]
+        cached = self._union_plans.get(scopes)
+        if cached is not None:
+            return cached
+        send: dict[int, list] = {}
+        recv: dict[int, list] = {}
+        for s in sorted(scopes):
+            plan = self.plans[s]
+            for nbr, idx in plan.send.items():
+                send.setdefault(nbr, []).append(idx)
+            for nbr, idx in plan.recv.items():
+                recv.setdefault(nbr, []).append(idx)
+        union = ExchangePlan(
+            name="+".join(sorted(scopes)),
+            send={n: _dedup_concat(parts) for n, parts in send.items()},
+            recv={n: _dedup_concat(parts) for n, parts in recv.items()},
+        )
+        self._union_plans[scopes] = union
+        return union
+
+
+def _dedup_concat(parts: list) -> np.ndarray:
+    """Concatenate index segments, keeping only first occurrences."""
+    cat = np.concatenate(parts)
+    _, first = np.unique(cat, return_index=True)
+    return cat[np.sort(first)]
 
 
 def exchange_halos(sset: "Set", dats: Sequence["Dat"], scope: str = "full",
@@ -124,3 +166,108 @@ def exchange_halos(sset: "Set", dats: Sequence["Dat"], scope: str = "full",
     comm.set_phase("compute")
     for d in dats:
         d.mark_halo_fresh(effective)
+
+
+@dataclass
+class PendingExchange:
+    """An in-flight split-phase exchange: sends posted, receives due.
+
+    Produced by :func:`exchange_halos_multi_begin`; every rank must
+    complete it with :func:`exchange_halos_multi_end` in the same order
+    it was begun relative to other exchanges on the same communicator
+    (tags keep concurrent in-flight exchanges unambiguous).
+    """
+
+    sset: "Set"
+    resolved: list          #: (dat, union plan, scopes) per dat
+    tag: int
+    sent: int               #: messages this rank posted
+
+
+def exchange_halos_multi_begin(
+        sset: "Set", dat_scopes: Sequence[tuple["Dat", frozenset]],
+        tag: int = _HALO_TAG) -> PendingExchange | None:
+    """Post the send half of a batched multi-dat exchange.
+
+    Packs, per neighbour, one message carrying every dat's
+    :meth:`SetHalo.union_plan` entries and posts it without waiting.
+    The matching :func:`exchange_halos_multi_end` call completes the
+    receives — compute issued in between overlaps the communication
+    (the chain runtime's latency hiding). Returns ``None`` when the set
+    has no halo or nothing to exchange.
+    """
+    halo = sset.halo
+    if halo is None or not dat_scopes:
+        return None
+    resolved = []
+    for d, scopes in dat_scopes:
+        if d.set is not sset:
+            raise ValueError(
+                f"dat {d.name!r} lives on {d.set.name!r}, not {sset.name!r}"
+            )
+        resolved.append((d, halo.union_plan(scopes), scopes))
+    comm = halo.comm
+    comm.set_phase("halo:chain")
+    with _tspan("exchange_begin", "op2.halo.exchange", set=sset.name,
+                ndats=len(resolved),
+                scopes=[p.name for _, p, _ in resolved]):
+        sent = 0
+        for nbr in sorted({n for _, p, _ in resolved for n in p.send}):
+            # skip-if-empty must mirror the receive side: segment lengths
+            # are pairwise aligned, so both ranks agree on emptiness
+            parts = [d.data_with_halos[p.send[nbr]].ravel()
+                     for d, p, _ in resolved
+                     if nbr in p.send and len(p.send[nbr])]
+            if parts:
+                comm.send(np.concatenate(parts), dest=nbr, tag=tag)
+                sent += 1
+    comm.set_phase("compute")
+    return PendingExchange(sset=sset, resolved=resolved, tag=tag, sent=sent)
+
+
+def exchange_halos_multi_end(pending: PendingExchange | None) -> int:
+    """Complete a split-phase exchange: receive, unpack, mark fresh.
+
+    Returns the number of messages the begin half sent on this rank.
+    """
+    if pending is None:
+        return 0
+    resolved = pending.resolved
+    comm = pending.sset.halo.comm
+    comm.set_phase("halo:chain")
+    with _tspan("exchange_end", "op2.halo.exchange", set=pending.sset.name,
+                ndats=len(resolved)):
+        for nbr in sorted({n for _, p, _ in resolved for n in p.recv}):
+            expect = [(d, p.recv[nbr]) for d, p, _ in resolved
+                      if nbr in p.recv and len(p.recv[nbr])]
+            if not expect:
+                continue
+            packed = comm.recv(source=nbr, tag=pending.tag)
+            offset = 0
+            for d, ridx in expect:
+                n = len(ridx) * d.dim
+                d.data_with_halos[ridx] = (
+                    packed[offset:offset + n].reshape(len(ridx), -1))
+                offset += n
+    comm.set_phase("compute")
+    for d, plan, scopes in resolved:
+        d.mark_halo_fresh("full" if plan.name == "full"
+                          else frozenset(scopes))
+    return pending.sent
+
+
+def exchange_halos_multi(sset: "Set",
+                         dat_scopes: Sequence[tuple["Dat", frozenset]]
+                         ) -> int:
+    """One batched exchange refreshing each dat for its own scope union.
+
+    The loop-chain runtime's exchange primitive: all dats on ``sset``
+    travel in a single packed message per neighbour, each contributing
+    exactly the entries of its :meth:`SetHalo.union_plan`. Collective
+    over the halo's communicator — every rank must call with the same
+    dats (in the same order) and scope sets. Each dat is marked fresh
+    for its full scope set. Returns the number of messages sent by this
+    rank.
+    """
+    return exchange_halos_multi_end(
+        exchange_halos_multi_begin(sset, dat_scopes))

@@ -75,9 +75,24 @@ class ParLoop:
                 sig.append(("dat", arg.access, addressing, arg.dim, arity))
         return tuple(sig)
 
+    #: plan-cached (template, patches) installed by the chain executor
+    _flat_template = None
+
     def flatten_bindings(self, reductions: ReductionBuffers) -> list:
         """Runtime arrays in the order generated wrappers expect."""
-        flat: list = []
+        tmpl = self._flat_template
+        if tmpl is not None:
+            # executor fast path: dat arrays and map columns come from the
+            # flush plan (identity-validated there); only Global slots are
+            # dynamic — reduction buffers are per-call and Global._data may
+            # be rebound by host writes between flushes
+            flat, patches = tmpl
+            flat = flat.copy()
+            for slot, i, is_red in patches:
+                flat[slot] = (reductions.buffer_for(i) if is_red
+                              else self.args[i].data._data)
+            return flat
+        flat = []
         for i, arg in enumerate(self.args):
             if arg.is_global:
                 if arg.is_reduction:
@@ -92,6 +107,32 @@ class ParLoop:
                     else:
                         flat.append(arg.map.column(arg.idx))
         return flat
+
+    def binding_template(self) -> tuple[list, list]:
+        """Precompute :meth:`flatten_bindings` for repeated execution.
+
+        Returns ``(template, patches)``: the flat list with every
+        statically-bound array filled in (``Dat._data`` is assigned only
+        at construction; ``Map.values`` is immutable) and a patch list
+        ``(slot, arg index, is_reduction)`` for the Global slots that
+        must be rebound on every call. Valid exactly as long as the
+        loop's dat/map bindings are — which is what the chain's flush
+        plan re-validates by identity before reusing one.
+        """
+        flat: list = []
+        patches: list = []
+        for i, arg in enumerate(self.args):
+            if arg.is_global:
+                patches.append((len(flat), i, arg.is_reduction))
+                flat.append(None)
+            else:
+                flat.append(arg.data._data)
+                if arg.is_indirect:
+                    if arg.is_vector:
+                        flat.append(arg.map.values)
+                    else:
+                        flat.append(arg.map.column(arg.idx))
+        return flat, patches
 
     # -- execution --------------------------------------------------------
     def execute(self, backend_name: str | None = None) -> None:
@@ -118,6 +159,39 @@ class ParLoop:
                 self.kernel.name, compute=elapsed - halo_seconds,
                 halo=halo_seconds, elements=self.iterset.size,
                 t0=t0 if tracing else None)
+
+    def run_compute(self, backend: "Backend") -> None:
+        """Execute compute only; halo freshness is the *caller's* concern.
+
+        The loop-chain flush path: the chain analyzer has already
+        scheduled (or elided) this loop's exchanges, so this skips
+        ``_refresh_halos`` but otherwise mirrors :meth:`execute` —
+        owned range, redundant execution over the import-exec halo with
+        a discarded scratch buffer, staleness marking, and reduction
+        finalize (allreduce in distributed runs).
+        """
+        cfg = current_config()
+        tracing = cfg.trace
+        profiling = cfg.profile or tracing
+        t0 = time.perf_counter() if profiling else 0.0
+        halo = self.iterset.halo
+        comm = halo.comm if halo is not None else None
+        extent = (self.iterset.exec_size if self.has_indirect_writes
+                  else self.iterset.size)
+        reductions = ReductionBuffers(self.args)
+        backend.execute(self, 0, self.iterset.size, reductions)
+        if extent > self.iterset.size:
+            scratch = ReductionBuffers(self.args)
+            backend.execute(self, self.iterset.size, extent, scratch)
+        self._mark_written_stale()
+        reductions.finalize(comm)
+        if profiling:
+            from repro.telemetry.recorder import current_recorder
+
+            elapsed = time.perf_counter() - t0
+            current_recorder().record_loop(
+                self.kernel.name, compute=elapsed, halo=0.0,
+                elements=self.iterset.size, t0=t0 if tracing else None)
 
     def _execute_distributed(self, backend: "Backend") -> float:
         """Run distributed; returns seconds spent in halo exchanges."""
@@ -175,10 +249,55 @@ class ParLoop:
                 arg.data.mark_halo_stale()
 
 
+def execute_fused(loops: list[ParLoop], backend_name: str) -> None:
+    """Run a chain-validated group of loops as one fused wrapper.
+
+    All loops share the iteration set and execution extent (the chain's
+    fusion legality check guarantees this); each keeps its own
+    reduction buffers, and redundant exec-halo execution uses discarded
+    scratch buffers exactly as in single-loop execution.
+    """
+    from repro.op2.config import current_config as _cc
+
+    cfg = _cc()
+    backend = resolve_backend(backend_name)
+    iterset = loops[0].iterset
+    halo = iterset.halo
+    comm = halo.comm if halo is not None else None
+    extent = (iterset.exec_size
+              if any(l.has_indirect_writes for l in loops)
+              else iterset.size)
+    tracing = cfg.trace
+    profiling = cfg.profile or tracing
+    t0 = time.perf_counter() if profiling else 0.0
+
+    reductions = [ReductionBuffers(l.args) for l in loops]
+    backend.execute_fused(loops, 0, iterset.size, reductions)
+    if extent > iterset.size:
+        scratch = [ReductionBuffers(l.args) for l in loops]
+        backend.execute_fused(loops, iterset.size, extent, scratch)
+    for loop in loops:
+        loop._mark_written_stale()
+    for loop, red in zip(loops, reductions):
+        red.finalize(comm)
+    if profiling:
+        from repro.telemetry.recorder import current_recorder
+
+        elapsed = time.perf_counter() - t0
+        name = "+".join(l.kernel.name for l in loops)
+        current_recorder().record_loop(
+            name, compute=elapsed, halo=0.0, elements=iterset.size,
+            t0=t0 if tracing else None)
+
+
 def par_loop(kernel: Kernel, iterset: Set, *args: Arg,
              backend: str | None = None) -> None:
-    """Declare and immediately execute a parallel loop (OP2's
-    ``op_par_loop``).
+    """Declare a parallel loop (OP2's ``op_par_loop``).
+
+    Executes immediately in eager mode; under ``Config.lazy`` or an
+    open :func:`~repro.op2.chain.loop_chain` the validated loop is
+    enqueued instead and runs (elided/batched/fused, but bitwise
+    equivalent) when the chain flushes.
 
     Parameters
     ----------
@@ -193,4 +312,9 @@ def par_loop(kernel: Kernel, iterset: Set, *args: Arg,
     backend:
         Override the configured compute backend for this loop.
     """
-    ParLoop(kernel, iterset, list(args)).execute(backend)
+    from repro.op2 import chain
+
+    loop = ParLoop(kernel, iterset, list(args))
+    if chain.submit(loop, backend):
+        return
+    loop.execute(backend)
