@@ -20,6 +20,10 @@ Exposes the library's headline workflows without writing a script:
     Run a small coupled case with telemetry enabled and write a
     Chrome-trace JSON (load it in Perfetto / ``chrome://tracing``) plus
     a machine-readable metrics summary.
+``bench``
+    Time the airfoil iteration per kernel under one or more backends
+    (``--backend native`` exercises the compiled path end to end) and
+    optionally write a bench-schema JSON.
 """
 
 from __future__ import annotations
@@ -250,6 +254,85 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+    import time
+
+    from repro import op2
+    from repro.apps import AirfoilApp, make_airfoil_mesh
+    from repro.op2.profiling import current_profile
+    from repro.telemetry import bench_summary, validate_bench
+    from repro.util.tables import format_table
+
+    backends = args.backend or ["vectorized", "native"]
+    mesh = make_airfoil_mesh(ni=args.ni, nj=args.nj)
+    prof = current_profile()
+    runs: dict[str, dict] = {}
+    ref = None
+    for backend in backends:
+        with op2.configure(backend=backend, profile=True,
+                           native_threads=args.threads):
+            app = AirfoilApp(mesh, mach=0.4)
+            app.iterate(2)  # warm wrapper/plan/compile caches
+            prof.reset()
+            t0 = time.perf_counter()
+            app.iterate(args.iters)
+            wall = time.perf_counter() - t0
+        runs[backend] = {
+            "wall": wall,
+            "kernels": {k: st.compute_seconds
+                        for k, st in prof.records.items()},
+        }
+        prof.reset()
+        if ref is None:
+            ref = app.q.data_ro.copy()
+        elif not np.allclose(app.q.data_ro, ref, rtol=1e-9, atol=1e-12):
+            print(f"backend {backend!r} diverged from {backends[0]!r}",
+                  file=sys.stderr)
+            return 1
+
+    base = backends[0]
+    rows = []
+    for name in sorted(runs[base]["kernels"]):
+        row = [name]
+        for b in backends:
+            row.append(runs[b]["kernels"][name] * 1e3)
+        if len(backends) > 1:
+            row.append(runs[base]["kernels"][name]
+                       / runs[backends[-1]]["kernels"][name])
+        rows.append(row)
+    total = ["TOTAL (wall)"] + [runs[b]["wall"] * 1e3 for b in backends]
+    if len(backends) > 1:
+        total.append(runs[base]["wall"] / runs[backends[-1]]["wall"])
+    rows.append(total)
+    headers = ["kernel"] + [f"{b} ms" for b in backends]
+    if len(backends) > 1:
+        headers.append(f"{base}/{backends[-1]}")
+    print(format_table(
+        headers, rows,
+        title=f"airfoil {mesh.ncell} cells, {args.iters} iterations",
+        floatfmt=".2f"))
+
+    if args.json:
+        metrics = {}
+        for b in backends:
+            metrics[f"wall_{b}"] = {"value": runs[b]["wall"], "unit": "s"}
+            for k, v in runs[b]["kernels"].items():
+                metrics[f"kernel_{k}_{b}"] = {"value": v, "unit": "s"}
+        doc = bench_summary("cli", metrics, meta={
+            "cells": mesh.ncell, "edges": mesh.nedge,
+            "iterations": args.iters, "backends": ",".join(backends),
+            "native_threads": args.threads})
+        validate_bench(doc)
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_report(_args: argparse.Namespace) -> int:
     from repro.perf.report import build_report, render_report
 
@@ -328,6 +411,23 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["sequential", "vectorized", "coloring"],
                    default="vectorized")
     p.set_defaults(fn=_cmd_codegen)
+
+    p = sub.add_parser("bench",
+                       help="per-kernel airfoil timings under one or "
+                            "more backends")
+    p.add_argument("--backend", action="append", default=None,
+                   metavar="NAME",
+                   help="repeatable; default: vectorized + native "
+                        "(native falls back to vectorized without a "
+                        "C toolchain)")
+    p.add_argument("--iters", type=int, default=10)
+    p.add_argument("--ni", type=int, default=64)
+    p.add_argument("--nj", type=int, default=16)
+    p.add_argument("--threads", type=int, default=0,
+                   help="native OpenMP threads (0 = all cores)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write a bench-schema JSON summary")
+    p.set_defaults(fn=_cmd_bench)
     return parser
 
 

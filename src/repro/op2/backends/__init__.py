@@ -16,6 +16,10 @@ strategies for indirect increments:
 ``sanitizer``   colored execution with per-element write-set auditing —
                 raises :class:`~repro.op2.backends.sanitizer.RaceError`
                 on any same-color conflict instead of corrupting data
+``native``      generated C compiled with the host toolchain and run
+                through ``ctypes`` — direct loops flat-parallel,
+                indirect loops via the block-color plan; falls back to
+                ``vectorized`` when no compiler is available
 ==============  ========================================================
 
 All backends must produce results identical to ``sequential`` up to
@@ -24,6 +28,7 @@ floating-point reassociation; the test suite enforces this.
 
 from repro.op2.backends.base import Backend, ReductionBuffers
 from repro.op2.backends.blockcolor import BlockColorBackend
+from repro.op2.backends.native import NativeBackend
 from repro.op2.backends.sanitizer import RaceError, RaceFinding, SanitizerBackend
 from repro.op2.backends.sequential import SequentialBackend
 from repro.op2.backends.vectorized import AtomicsBackend, ColoringBackend, VectorizedBackend
@@ -35,6 +40,7 @@ BACKENDS: dict[str, Backend] = {
     "atomics": AtomicsBackend(),
     "blockcolor": BlockColorBackend(),
     "sanitizer": SanitizerBackend(),
+    "native": NativeBackend(),
 }
 
 
@@ -51,4 +57,4 @@ def resolve_backend(name: str) -> Backend:
 __all__ = ["Backend", "ReductionBuffers", "BACKENDS", "resolve_backend",
            "SequentialBackend", "VectorizedBackend", "ColoringBackend",
            "AtomicsBackend", "BlockColorBackend", "SanitizerBackend",
-           "RaceError", "RaceFinding"]
+           "NativeBackend", "RaceError", "RaceFinding"]

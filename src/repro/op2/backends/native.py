@@ -1,0 +1,307 @@
+"""Native backend: generate C, compile it, ``dlopen`` it, run it.
+
+This closes the paper's Fig. 4 pipeline for real: the same validated
+kernel AST every numpy backend interprets is emitted as a
+self-contained C translation unit (:func:`~repro.op2.codegen.csource.
+generate_native`), built with the host toolchain into a per-(kernel,
+signature) shared object, and invoked through ``ctypes`` with raw
+numpy data pointers — zero copies on either side of the call.
+
+Execution strategies mirror the Python backends exactly:
+
+* direct loops run a flat ``#pragma omp for`` over ``[start, end)``;
+* loops with indirect writes execute the **block-color plan** (the
+  OP2 OpenMP strategy): same-colored blocks share no write target and
+  run team-parallel, colors are separated by barriers;
+* global reductions accumulate into thread-private staging folded
+  under ``#pragma omp critical``, into the caller's
+  :class:`~repro.op2.backends.base.ReductionBuffers` partials — so
+  distributed finalize/allreduce plumbing is untouched.
+
+Compiled objects are cached on disk under ``~/.cache/repro-op2``
+(override with ``REPRO_CACHE_DIR``), keyed by the SHA-256 of
+``(source, compiler, flags)``, with in-process memoization in the
+kernel's wrapper cache. The compiler is ``$REPRO_CC`` or the first of
+``cc``/``gcc``/``clang`` on ``PATH``; flags are ``$REPRO_CFLAGS``
+(default ``-O2 -fopenmp -ffp-contract=off`` — contraction off keeps
+the elemental arithmetic bitwise-equal to numpy for correctly-rounded
+operations).
+
+Degradation is graceful by design: a missing toolchain, a compile
+failure, or an unusable cached object warns **once** per process,
+bumps the ``op2.native.fallback`` telemetry counter, and routes the
+loop through the vectorized backend — every entry point keeps working
+on a machine with no compiler at all.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.op2.backends.base import ReductionBuffers
+from repro.op2.backends.vectorized import VectorizedBackend
+from repro.op2.codegen.csource import (generate_native, native_entry_name,
+                                       native_is_planned)
+from repro.op2.config import current_config
+from repro.op2.kernel import KernelParseError
+from repro.op2.plan import build_block_plan
+from repro.telemetry.recorder import active_recorder, span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.op2.parloop import ParLoop
+
+#: default compile flags (overridable via ``REPRO_CFLAGS``); the link
+#: flags are always appended — the backend only builds shared objects
+DEFAULT_CFLAGS = "-O2 -fopenmp -ffp-contract=off"
+_LINK_FLAGS = ("-shared", "-fPIC")
+
+#: serializes compiles across simulated ranks (threads in one process);
+#: the disk cache makes every rank after the first a cheap hit
+_compile_lock = threading.Lock()
+_warn_lock = threading.Lock()
+_warned = False
+
+
+def reset_native_state() -> None:
+    """Re-arm the warn-once fallback notice (tests)."""
+    global _warned
+    with _warn_lock:
+        _warned = False
+
+
+def toolchain() -> tuple[str, list[str]] | None:
+    """``(compiler, cflags)`` or None when no usable compiler exists.
+
+    ``REPRO_CC`` is honoured strictly: if set but not executable the
+    toolchain counts as missing rather than silently substituting a
+    different compiler.
+    """
+    explicit = os.environ.get("REPRO_CC")
+    if explicit:
+        cc = shutil.which(explicit)
+    else:
+        cc = next(filter(None, (shutil.which(c)
+                                for c in ("cc", "gcc", "clang"))), None)
+    if cc is None:
+        return None
+    return cc, os.environ.get("REPRO_CFLAGS", DEFAULT_CFLAGS).split()
+
+
+def cache_dir() -> Path:
+    """On-disk compile cache root (``REPRO_CACHE_DIR`` overrides)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR")
+                or "~/.cache/repro-op2").expanduser()
+
+
+def _so_path(kernel, source: str, cc: str, cflags: list[str]) -> Path:
+    digest = hashlib.sha256(
+        "\x00".join([source, cc, " ".join(cflags)]).encode()).hexdigest()[:16]
+    return cache_dir() / f"{kernel.name}_{digest}.so"
+
+
+def compiled_path(kernel, nsig: tuple) -> Path | None:
+    """Cache location of the compiled wrapper for ``(kernel, nsig)``.
+
+    ``nsig`` is the loop's
+    :meth:`~repro.op2.parloop.ParLoop.native_signature`. Returns None
+    without a toolchain. The object need not exist yet — this is where
+    the backend will look for (or build) it, which is what cache tests
+    and cache-management tooling need.
+    """
+    tc = toolchain()
+    if tc is None:
+        return None
+    cc, cflags = tc
+    return _so_path(kernel, generate_native(kernel, nsig), cc, cflags)
+
+
+class _NativeEntry:
+    """A loaded compiled wrapper plus everything needed to call it."""
+
+    __slots__ = ("fn", "planned", "source", "path", "_lib")
+
+    def __init__(self, fn, planned: bool, source: str, path: Path,
+                 lib) -> None:
+        self.fn = fn
+        self.planned = planned
+        self.source = source
+        self.path = path
+        self._lib = lib  # keeps the dlopen handle alive
+
+
+class _Fallback:
+    """Sentinel cached for a (kernel, signature) that cannot compile."""
+
+    __slots__ = ("reason", "warn")
+
+    def __init__(self, reason: str, warn: bool = True) -> None:
+        self.reason = reason
+        self.warn = warn
+
+
+def _compile(source: str, cc: str, cflags: list[str],
+             so_path: Path) -> str | None:
+    """Build ``source`` into ``so_path`` atomically; error string on failure."""
+    rec = active_recorder()
+    with span("native.compile", "op2.native", path=so_path.name):
+        try:
+            so_path.parent.mkdir(parents=True, exist_ok=True)
+            c_path = so_path.with_suffix(".c")
+            c_path.write_text(source)
+            fd, tmp = tempfile.mkstemp(suffix=".so", dir=so_path.parent)
+            os.close(fd)
+        except OSError as exc:
+            return f"cache directory unusable: {exc}"
+        cmd = [cc, *cflags, *_LINK_FLAGS, "-o", tmp, str(c_path), "-lm"]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+        except OSError as exc:
+            os.unlink(tmp)
+            return f"could not run {cc!r}: {exc}"
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            tail = proc.stderr.strip().splitlines()[-3:]
+            return f"{cc} exited {proc.returncode}: " + " | ".join(tail)
+        os.replace(tmp, so_path)  # atomic: concurrent ranks both win
+    if rec is not None:
+        rec.counter("op2.native.compile")
+    return None
+
+
+def _build_entry(kernel, nsig: tuple) -> "_NativeEntry | _Fallback":
+    rec = active_recorder()
+    tc = toolchain()
+    if tc is None:
+        return _Fallback("no C toolchain (set REPRO_CC or install cc/gcc)")
+    cc, cflags = tc
+    try:
+        with span("native.generate", "op2.native", kernel=kernel.name):
+            source = generate_native(kernel, nsig)
+    except KernelParseError as exc:
+        return _Fallback(f"C generation failed for {kernel.name!r}: {exc}")
+    so_path = _so_path(kernel, source, cc, cflags)
+
+    with _compile_lock:
+        for attempt in (0, 1):
+            if not so_path.exists():
+                err = _compile(source, cc, cflags, so_path)
+                if err is not None:
+                    return _Fallback(err)
+            elif rec is not None:
+                rec.counter("op2.native.cache_hit_disk")
+            try:
+                with span("native.load", "op2.native", path=so_path.name):
+                    lib = ctypes.CDLL(str(so_path))
+                    fn = getattr(lib, native_entry_name(kernel))
+            except (OSError, AttributeError):
+                # corrupted or stale cache entry: rebuild exactly once
+                if rec is not None:
+                    rec.counter("op2.native.cache_corrupt")
+                so_path.unlink(missing_ok=True)
+                if attempt:
+                    return _Fallback(
+                        f"compiled object for {kernel.name!r} unusable "
+                        "even after recompiling")
+                continue
+            fn.restype = None
+            return _NativeEntry(fn, native_is_planned(nsig), source,
+                                so_path, lib)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class NativeBackend:
+    """Compiled-C execution through the block-color plan (OpenMP)."""
+
+    name = "native"
+    _fallback = VectorizedBackend()
+
+    def execute(self, loop: "ParLoop", start: int, end: int,
+                reductions: ReductionBuffers) -> None:
+        entry = self._entry_for(loop)
+        if isinstance(entry, _Fallback):
+            if entry.warn:
+                self._warn_and_count(entry.reason)
+            self._fallback.execute(loop, start, end, reductions)
+            return
+        cfg = current_config()
+        c_void_p, c_ll = ctypes.c_void_p, ctypes.c_longlong
+        argv: list = []
+        for i, arg in enumerate(loop.args):
+            if arg.is_global:
+                buf = (reductions.buffer_for(i) if arg.is_reduction
+                       else arg.data._data)
+                argv.append(c_void_p(buf.ctypes.data))
+                continue
+            argv.append(c_void_p(arg.data._data.ctypes.data))
+            if arg.is_indirect:
+                argv.append(c_void_p(arg.map.values.ctypes.data))
+        if entry.planned:
+            plan = build_block_plan(loop.args, end,
+                                    block_size=cfg.block_size)
+            blk_lo, blk_hi, col_off = plan.native_arrays(start, end)
+            argv += [c_void_p(blk_lo.ctypes.data),
+                     c_void_p(blk_hi.ctypes.data),
+                     c_void_p(col_off.ctypes.data),
+                     c_ll(col_off.size - 1)]
+        else:
+            argv += [c_ll(start), c_ll(end)]
+        argv.append(c_ll(cfg.native_threads))
+        entry.fn(*argv)
+
+    def _entry_for(self, loop: "ParLoop") -> "_NativeEntry | _Fallback":
+        unsupported = self._unsupported(loop)
+        if unsupported is not None:
+            return unsupported
+        key = ("native", loop.native_signature())
+        entry = loop.kernel.cached(key)
+        if entry is not None:
+            rec = active_recorder()
+            if rec is not None:
+                rec.counter("op2.native.cache_hit_mem")
+            return entry
+        entry = _build_entry(loop.kernel, key[1])
+        source = entry.source if isinstance(entry, _NativeEntry) else ""
+        loop.kernel.store(key, entry, source)
+        return entry
+
+    @staticmethod
+    def _unsupported(loop: "ParLoop") -> "_Fallback | None":
+        """The compiled ABI is float64/contiguous only; anything else
+        routes to the vectorized backend (counted, but not warned — it
+        is a capability gap, not an environment failure)."""
+        for arg in loop.args:
+            arr = arg.data._data
+            if arr.dtype != np.float64 or not arr.flags.c_contiguous:
+                rec = active_recorder()
+                if rec is not None:
+                    rec.counter("op2.native.unsupported")
+                return _Fallback(
+                    f"argument {arg.data.name!r} is not contiguous float64",
+                    warn=False)
+        return None
+
+    @staticmethod
+    def _warn_and_count(reason: str) -> None:
+        global _warned
+        rec = active_recorder()
+        if rec is not None:
+            rec.counter("op2.native.fallback")
+        with _warn_lock:
+            if _warned:
+                return
+            _warned = True
+        warnings.warn(
+            f"native backend unavailable ({reason}); "
+            "falling back to the vectorized backend",
+            RuntimeWarning, stacklevel=3)

@@ -20,7 +20,13 @@ class Config:
     ----------
     backend:
         Default compute backend: ``"sequential"``, ``"vectorized"``,
-        ``"coloring"`` or ``"atomics"``.
+        ``"coloring"``, ``"atomics"``, ``"blockcolor"`` or ``"native"``
+        (compiled C via the host toolchain; falls back to
+        ``"vectorized"`` when no compiler is available).
+    native_threads:
+        OpenMP thread count of the ``native`` backend's compiled
+        wrappers; ``0`` (default) lets the OpenMP runtime decide
+        (``omp_get_max_threads``, honouring ``OMP_NUM_THREADS``).
     partial_halos:
         Enable the partial-halo-exchange optimization (paper's PH).
     grouped_halos:
@@ -68,6 +74,7 @@ class Config:
     """
 
     backend: str = "vectorized"
+    native_threads: int = 0
     partial_halos: bool = False
     grouped_halos: bool = False
     atomics_block: int = 4096

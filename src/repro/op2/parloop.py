@@ -75,6 +75,31 @@ class ParLoop:
                 sig.append(("dat", arg.access, addressing, arg.dim, arity))
         return tuple(sig)
 
+    def native_signature(self) -> tuple:
+        """Signature extended with map indices, for compiled codegen.
+
+        :meth:`signature` deliberately omits which map *column* an
+        indirect argument uses — numpy wrappers receive the column as a
+        pre-sliced array. The compiled native wrapper instead indexes
+        the full contiguous map table in C (``m[n * arity + idx]``, the
+        strided column view has no zero-copy pointer), so its cache key
+        and codegen need the index: dat entries grow a sixth element
+        (``None`` for direct and vector arguments).
+        """
+        sig = []
+        for arg in self.args:
+            if arg.is_global:
+                sig.append(("gbl", arg.access, arg.dim))
+            else:
+                addressing = ("direct" if arg.is_direct
+                              else "all" if arg.is_vector else "idx")
+                arity = arg.map.arity if arg.map is not None else 0
+                idx = arg.idx if (arg.is_indirect
+                                  and not arg.is_vector) else None
+                sig.append(("dat", arg.access, addressing, arg.dim, arity,
+                            idx))
+        return tuple(sig)
+
     #: plan-cached (template, patches) installed by the chain executor
     _flat_template = None
 

@@ -27,7 +27,7 @@ count is bounded by the maximum conflict degree plus one.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -64,6 +64,8 @@ class BlockPlan:
     block_colors: np.ndarray
     ncolors: int
     _maps: tuple[Map, ...]
+    _native_cache: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
     def blocks_of_color(self, color: int) -> list[tuple[int, int]]:
         """(start, end) ranges of the blocks with the given color."""
@@ -72,6 +74,37 @@ class BlockPlan:
             start = int(b) * self.block_size
             out.append((start, min(start + self.block_size, self.extent)))
         return out
+
+    def native_arrays(self, start: int, end: int
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Plan flattened for the compiled native wrapper's ABI.
+
+        Returns contiguous int64 arrays ``(blk_lo, blk_hi, col_off)``:
+        block ``b`` covers elements ``[blk_lo[b], blk_hi[b])`` clamped
+        to ``[start, end)`` (empty blocks dropped), and color ``c``
+        owns blocks ``[col_off[c], col_off[c + 1])``. Cached per
+        ``(start, end)`` — the plan itself is already cached by loop
+        signature, so repeated loop executions reuse the arrays.
+        """
+        key = (start, end)
+        cached = self._native_cache.get(key)
+        if cached is not None:
+            return cached
+        blk_lo: list[int] = []
+        blk_hi: list[int] = []
+        col_off: list[int] = [0]
+        for color in range(self.ncolors):
+            for lo, hi in self.blocks_of_color(color):
+                lo, hi = max(lo, start), min(hi, end)
+                if lo < hi:
+                    blk_lo.append(lo)
+                    blk_hi.append(hi)
+            col_off.append(len(blk_lo))
+        arrays = (np.asarray(blk_lo, dtype=np.int64),
+                  np.asarray(blk_hi, dtype=np.int64),
+                  np.asarray(col_off, dtype=np.int64))
+        self._native_cache[key] = arrays
+        return arrays
 
 
 @dataclass

@@ -88,3 +88,28 @@ def test_report_all_claims_pass(capsys):
     out = capsys.readouterr().out
     assert "20/20 claims reproduced" in out
     assert "FAIL" not in out
+
+def test_bench_writes_valid_summary(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_bench
+
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--ni", "16", "--nj", "8", "--iters", "2",
+                 "--json", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "res_calc" in stdout and "TOTAL" in stdout
+    doc = json.loads(out.read_text())
+    validate_bench(doc)
+    assert "wall_vectorized" in doc["metrics"]
+    # native always present: it falls back to vectorized without a
+    # toolchain, so the CLI works on a compiler-less machine too
+    assert "wall_native" in doc["metrics"]
+
+
+def test_bench_single_backend(capsys):
+    assert main(["bench", "--backend", "blockcolor", "--ni", "16",
+                 "--nj", "8", "--iters", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "blockcolor ms" in out
+    assert "speedup" not in out

@@ -1,12 +1,25 @@
-"""CUDA/OpenMP C source generation: structural correspondence with the
-executable Python backends (the paper's Fig. 4 outputs)."""
+"""CUDA/OpenMP/native C source generation: structural correspondence
+with the executable Python backends (the paper's Fig. 4 outputs).
+
+The native generator additionally has *golden* tests: its output is
+compared verbatim against checked-in ``tests/golden/native/*.c`` files
+(each verified to compile standalone), so any codegen drift fails with
+a readable unified diff instead of a compile error three layers away.
+"""
+
+import difflib
+from pathlib import Path
 
 import pytest
 
 from repro import op2
 from repro.hydra.kernels import KERNELS
-from repro.op2.codegen.csource import generate_cuda, generate_openmp
+from repro.op2.codegen.csource import (generate_cuda, generate_native,
+                                       generate_openmp, native_entry_name,
+                                       native_is_planned)
 from repro.op2.kernel import KernelParseError
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "native"
 
 FLUX_SIG = (
     ("dat", op2.READ, "idx", 5, 2),
@@ -192,3 +205,187 @@ class TestCrossAppGeneration:
         src = generate_cuda(TURB["nut_flux_edge"], sig)
         assert "__global__ void op_cuda_nut_flux_edge" in src
         assert src.count("{") == src.count("}")
+
+
+# -- native (compiled) wrapper generation --------------------------------
+
+GOLDEN_FLUX = """
+def golden_flux(x1, x2, w, r1, r2, rms):
+    f = w[0] * (x1[0] - x2[0])
+    r1[0] += f
+    r2[0] -= f
+    rms[0] += f * f
+"""
+
+GOLDEN_UPDATE = """
+def golden_update(q, qold, res, adt, g, change):
+    adti = 1.0 / adt[0]
+    for i in range(4):
+        d = adti * res[i]
+        q[i] = qold[i] - d * g[0]
+        change[0] = max(change[0], fabs(d))
+"""
+
+#: native signatures carry the map column (6-tuples for dats): the
+#: compiled wrapper indexes the full map table, so the column is part
+#: of the generated source, unlike the 5-tuple numpy-backend signature
+GOLDEN_FLUX_SIG = (
+    ("dat", op2.READ, "idx", 2, 2, 0),
+    ("dat", op2.READ, "idx", 2, 2, 1),
+    ("dat", op2.READ, "direct", 1, 0, None),
+    ("dat", op2.INC, "idx", 1, 2, 0),
+    ("dat", op2.INC, "idx", 1, 2, 1),
+    ("gbl", op2.INC, 1),
+)
+GOLDEN_UPDATE_SIG = (
+    ("dat", op2.RW, "direct", 4, 0, None),
+    ("dat", op2.READ, "direct", 4, 0, None),
+    ("dat", op2.READ, "direct", 4, 0, None),
+    ("dat", op2.READ, "direct", 1, 0, None),
+    ("gbl", op2.READ, 1),
+    ("gbl", op2.MAX, 1),
+)
+
+
+def _assert_matches_golden(got: str, golden_name: str) -> None:
+    golden = (GOLDEN_DIR / golden_name).read_text()
+    if got != golden:
+        diff = "".join(difflib.unified_diff(
+            golden.splitlines(keepends=True), got.splitlines(keepends=True),
+            fromfile=f"golden/native/{golden_name}", tofile="generated"))
+        pytest.fail(f"native codegen drifted from golden file:\n{diff}")
+
+
+class TestNativeGolden:
+    """Byte-exact comparison against compile-verified golden sources."""
+
+    def test_golden_flux_matches(self):
+        got = generate_native(op2.Kernel(GOLDEN_FLUX), GOLDEN_FLUX_SIG)
+        _assert_matches_golden(got, "golden_flux.c")
+
+    def test_golden_update_matches(self):
+        got = generate_native(op2.Kernel(GOLDEN_UPDATE), GOLDEN_UPDATE_SIG)
+        _assert_matches_golden(got, "golden_update.c")
+
+
+class TestNativeStructure:
+    def test_indirect_inc_uses_block_color_plan(self):
+        assert native_is_planned(GOLDEN_FLUX_SIG)
+        src = generate_native(op2.Kernel(GOLDEN_FLUX), GOLDEN_FLUX_SIG)
+        assert f"void {native_entry_name(op2.Kernel(GOLDEN_FLUX))}(" in src
+        # plan ABI: block ranges + per-color block offsets
+        assert "const long long *_blk_lo" in src
+        assert "const long long *_col_off" in src
+        # colors are serial (plain for), blocks within a color are
+        # team-parallel — the same shape as the blockcolor backend
+        assert "for (long long col = 0; col < _ncolors; col++)" in src
+        omp_for = src.index("#pragma omp for schedule(static)")
+        assert src.index("col < _ncolors") < omp_for
+        # the plan guarantees conflict-freedom: no atomics anywhere
+        assert "atomic" not in src
+        # indirect args index the full map table with their column
+        assert "a0 + m0[n * 2 + 0] * 2" in src
+        assert "a4 + m4[n * 2 + 1] * 1" in src
+
+    def test_direct_loop_is_flat_parallel(self):
+        assert not native_is_planned(GOLDEN_UPDATE_SIG)
+        src = generate_native(op2.Kernel(GOLDEN_UPDATE), GOLDEN_UPDATE_SIG)
+        assert "long long _start" in src and "long long _end" in src
+        assert "_blk_lo" not in src and "_ncolors" not in src
+        assert "#pragma omp for schedule(static)" in src
+        assert "for (long long n = _start; n < _end; n++)" in src
+
+    def test_reduction_staging_and_critical_fold(self):
+        flux = generate_native(op2.Kernel(GOLDEN_FLUX), GOLDEN_FLUX_SIG)
+        # INC reduction: zero-initialized thread-private staging,
+        # folded into the caller's partial buffer under a critical
+        assert "double rms_l[1];" in flux
+        assert "rms_l[d] = 0.0;" in flux
+        assert "#pragma omp critical" in flux
+        assert "g5[d] += rms_l[d];" in flux
+        upd = generate_native(op2.Kernel(GOLDEN_UPDATE), GOLDEN_UPDATE_SIG)
+        # MAX reduction: -INFINITY neutral, fmax fold
+        assert "change_l[d] = -INFINITY;" in upd
+        assert "g5[d] = fmax(g5[d], change_l[d]);" in upd
+
+    def test_no_critical_without_reductions(self):
+        def k(x, y):
+            y[0] = 2.0 * x[0]
+
+        sig = (("dat", op2.READ, "direct", 1, 0, None),
+               ("dat", op2.WRITE, "direct", 1, 0, None))
+        src = generate_native(op2.Kernel(k, name="scale_k"), sig)
+        assert "#pragma omp critical" not in src
+        assert "#pragma omp parallel" in src
+
+    def test_compiles_without_openmp(self):
+        """The wrapper must be valid C without -fopenmp."""
+        src = generate_native(op2.Kernel(GOLDEN_FLUX), GOLDEN_FLUX_SIG)
+        assert "#ifdef _OPENMP" in src
+        assert "#define omp_get_max_threads() 1" in src
+
+    def test_balanced_braces_all_hydra_kernels(self):
+        sigs = {
+            "zero_res": (("dat", op2.WRITE, "direct", 5, 0, None),),
+            "flux_edge": (("dat", op2.READ, "idx", 5, 2, 0),
+                          ("dat", op2.READ, "idx", 5, 2, 1),
+                          ("dat", op2.READ, "direct", 3, 0, None),
+                          ("dat", op2.INC, "idx", 5, 2, 0),
+                          ("dat", op2.INC, "idx", 5, 2, 1),
+                          ("gbl", op2.READ, 1)),
+            "local_dt": (("dat", op2.READ, "direct", 5, 0, None),
+                         ("gbl", op2.READ, 1), ("gbl", op2.READ, 1),
+                         ("gbl", op2.READ, 1), ("gbl", op2.MIN, 1)),
+        }
+        for name, sig in sigs.items():
+            src = generate_native(KERNELS[name], sig)
+            assert f"op_native_{name}" in src
+            assert src.count("{") == src.count("}")
+
+
+class TestNativeIntegerMath:
+    """C spellings of Python math must respect operand types: integer
+    ``min``/``max``/``abs``/``/`` have different semantics than the
+    double-only ``fmin``/``fmax``/``fabs`` C functions."""
+
+    INT_K = """
+def int_k(x, y):
+    for i in range(4):
+        j = min(i, 2)
+        h = i / 2
+        y[i] = x[j] + abs(i - 3) * 0.5 + h
+"""
+    SIG = (("dat", op2.READ, "direct", 4, 0, None),
+           ("dat", op2.WRITE, "direct", 4, 0, None))
+
+    def _src(self):
+        return generate_native(op2.Kernel(self.INT_K), self.SIG)
+
+    def test_int_local_declared_long_long(self):
+        assert "long long j = " in self._src()
+
+    def test_int_min_becomes_ternary(self):
+        src = self._src()
+        assert "((i) < (2) ? (i) : (2))" in src
+        assert "fmin(i" not in src  # fmin would round-trip through double
+
+    def test_int_abs_becomes_ternary(self):
+        src = self._src()
+        assert "< 0 ? -((i - 3)) : ((i - 3))" in src
+        assert "fabs(i" not in src
+
+    def test_int_division_keeps_python_semantics(self):
+        # Python / is float division even for ints; C / would truncate
+        src = self._src()
+        assert "double h = ((double)i / 2);" in src
+
+    def test_float_min_abs_still_libm(self):
+        def flt_k(x, y):
+            y[0] = min(x[0], 0.5) + abs(x[0])
+
+        sig = (("dat", op2.READ, "direct", 1, 0, None),
+               ("dat", op2.WRITE, "direct", 1, 0, None))
+        src = generate_native(op2.Kernel(flt_k), sig)
+        assert "fmin(x[0], 0.5)" in src
+        assert "fabs(x[0])" in src
+        assert "?" not in src.split("static inline")[1].split("}")[0]
