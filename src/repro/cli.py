@@ -38,27 +38,171 @@ def _cmd_compressor(args: argparse.Namespace) -> int:
     from repro.coupler import CoupledDriver, CoupledRunConfig
     from repro.hydra import FlowState, Numerics
     from repro.mesh import rig250_config
+    from repro.resilience import resume_coupled
     from repro.util.ascii_plot import render_field
 
     rig = rig250_config(nr=args.nr, nt=args.nt, nx=args.nx, rows=args.rows,
                         steps_per_revolution=args.steps_per_rev)
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     cfg = CoupledRunConfig(
         rig=rig, ranks_per_row=args.ranks_per_row,
         cus_per_interface=args.cus, search=args.search,
         numerics=Numerics(inner_iters=args.inner),
-        inlet=FlowState(ux=0.5), p_out=args.p_out)
-    result = CoupledDriver(cfg).run(args.steps)
+        inlet=FlowState(ux=0.5), p_out=args.p_out,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir)
+    if args.resume is not None:
+        target = "latest" if args.resume == "latest" else args.resume
+        result = resume_coupled(cfg, args.steps, resume_from=target)
+    else:
+        result = CoupledDriver(cfg).run(args.steps)
     print(f"rows: {rig.n_rows}, interfaces: {rig.n_interfaces}, "
           f"steps: {args.steps}")
+    if result.resumed_from:
+        print(f"resumed from checkpoint step {result.resumed_from}")
     print(f"pressure ratio: {result.pressure_ratio():.3f}")
     print(f"interface wiggle: {result.interface_wiggle():.4f}")
     print(f"coupler wait fraction: {result.coupler_wait_fraction():.3f}")
+    if args.checkpoint_every:
+        print(f"checkpoint overhead: {result.checkpoint_overhead():.3f}")
     if args.contour:
         field, marks = result.mid_cut()
         print(render_field(field, width=100, height=16,
                            title="mid-radius static pressure",
                            column_marks=marks))
     return 0
+
+
+def _resilience_monitors(result) -> list:
+    """The monitor history a recovered run must reproduce bitwise."""
+    return [
+        [(row["stations_p"], np.asarray(row["midcut_p"]).tolist(),
+          row["unsteadiness"], row["wiggle"],
+          row["plane_mdot_in"], row["plane_mdot_out"])
+         for row in result.rows],
+        [(cu["rounds"], cu["stats"].queries, cu["stats"].comparisons)
+         for cu in result.cus],
+    ]
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """Fault-matrix smoke: inject faults, prove recovery is bitwise."""
+    import json
+    import pathlib
+    import tempfile
+
+    from repro.coupler import CoupledDriver, CoupledRunConfig
+    from repro.hydra import FlowState, Numerics
+    from repro.mesh import rig250_config
+    from repro.resilience import (
+        FaultPlan,
+        RecoveryPolicy,
+        latest_valid_checkpoint,
+        run_resilient,
+    )
+
+    rig = rig250_config(nr=args.nr, nt=args.nt, nx=args.nx, rows=args.rows,
+                        steps_per_revolution=args.steps_per_rev)
+
+    def make_cfg(ckpt_dir, plan=None):
+        return CoupledRunConfig(
+            rig=rig, ranks_per_row=args.ranks_per_row,
+            cus_per_interface=args.cus, search="adt",
+            numerics=Numerics(inner_iters=args.inner, guard=True),
+            inlet=FlowState(ux=0.5), p_out=args.p_out,
+            checkpoint_every=args.checkpoint_every if ckpt_dir else 0,
+            checkpoint_dir=ckpt_dir, fault_plan=plan,
+            cu_request_timeout=10.0)
+
+    probe = CoupledDriver(make_cfg(None))
+    n_hs = sum(len(r) for r in probe.row_ranks)
+    cu_rank = probe.cu_ranks[0][0]
+    mid = max(1, args.steps // 2)
+    donor_tag = 9000  # _TAG_DONOR of interface 0, direction 0
+
+    # the truth every recovered run must reproduce
+    baseline = CoupledDriver(make_cfg(None)).run(args.steps)
+    truth = _resilience_monitors(baseline)
+
+    scenarios = [
+        ("crash-hs", lambda: FaultPlan(seed=7).crash(rank=0, step=mid)),
+        ("crash-cu", lambda: FaultPlan(seed=7).crash(rank=cu_rank,
+                                                     step=mid)),
+        ("drop-donor", lambda: FaultPlan(seed=7).drop(
+            src=0, dst=cu_rank, tag=donor_tag)),
+        ("corrupt-donor", lambda: FaultPlan(seed=7).corrupt(
+            src=0, dst=cu_rank, tag=donor_tag, mode="nan")),
+    ]
+    # keep CFL untouched on divergence retries so the recovered
+    # trajectory stays comparable to the fault-free baseline
+    policy = RecoveryPolicy(max_retries=3, cfl_backoff=1.0)
+
+    report = {"world_ranks": probe.n_world, "hs_ranks": n_hs,
+              "cu_ranks": probe.n_world - n_hs, "steps": args.steps,
+              "checkpoint_every": args.checkpoint_every,
+              "scenarios": []}
+    failed = False
+    for name, make_plan in scenarios:
+        with tempfile.TemporaryDirectory() as d:
+            cfg = make_cfg(d, make_plan())
+            try:
+                result = run_resilient(cfg, args.steps, policy=policy)
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal
+                print(f"{name:14s} FAILED: {type(exc).__name__}: {exc}")
+                report["scenarios"].append(
+                    {"name": name, "ok": False,
+                     "error": f"{type(exc).__name__}: {exc}"})
+                failed = True
+                continue
+            log = result.recovery
+            identical = _resilience_monitors(result) == truth
+            # corruption may miss the serving CU's donor window — then
+            # it is *harmless* (bitwise-equal with zero recoveries),
+            # which is the same contract the hypothesis test enforces;
+            # every other fault must actually trigger a recovery
+            need_recovery = not name.startswith("corrupt")
+            ok = identical and (log.recoveries >= 1 or not need_recovery)
+            failed |= not ok
+            print(f"{name:14s} recoveries={log.recoveries} "
+                  f"attempts={log.attempts} bitwise={identical}")
+            report["scenarios"].append({
+                "name": name, "ok": ok, "bitwise_identical": identical,
+                "recovery": log.as_dict()})
+
+    # torn-checkpoint case: damage the newest set; recovery must fall
+    # back to the previous intact one and still finish bitwise-equal
+    with tempfile.TemporaryDirectory() as d:
+        CoupledDriver(make_cfg(d)).run(args.steps)
+        newest = latest_valid_checkpoint(d)
+        member = newest.member(0)
+        member.write_bytes(member.read_bytes()[:-7])  # truncate = torn
+        fallback = latest_valid_checkpoint(d)
+        resumed = CoupledDriver(make_cfg(d)).run(
+            args.steps, resume_from=fallback)
+        identical = _resilience_monitors(resumed) == truth
+        fell_back = fallback is not None and fallback.step < newest.step
+        ok = identical and fell_back
+        failed |= not ok
+        print(f"{'torn-ckpt':14s} newest={newest.step} "
+              f"fallback={fallback.step if fallback else None} "
+              f"bitwise={identical}")
+        report["scenarios"].append({
+            "name": "torn-checkpoint", "ok": ok,
+            "bitwise_identical": identical,
+            "newest_step": newest.step,
+            "fallback_step": fallback.step if fallback else None})
+
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"wrote {out}")
+    print("fault matrix:", "FAILED" if failed else "all recovered")
+    return 1 if failed else 0
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
@@ -360,7 +504,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--p-out", type=float, default=1.05)
     p.add_argument("--search", choices=["adt", "bruteforce"], default="adt")
     p.add_argument("--contour", action="store_true")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="write a coordinated checkpoint set every N "
+                        "physical steps (needs --checkpoint-dir)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="directory for checkpoint sets")
+    p.add_argument("--resume", nargs="?", const="latest", default=None,
+                   metavar="STEP_DIR",
+                   help="restart from a checkpoint: a step-NNNNNN "
+                        "directory, or the newest intact set under "
+                        "--checkpoint-dir when given without a value")
     p.set_defaults(fn=_cmd_compressor)
+
+    p = sub.add_parser("resilience",
+                       help="fault-matrix smoke: inject crashes and "
+                            "message faults into a coupled run, prove "
+                            "supervised recovery is bitwise-identical")
+    p.add_argument("--rows", type=int, default=2)
+    p.add_argument("--steps", type=int, default=6)
+    p.add_argument("--nr", type=int, default=3)
+    p.add_argument("--nt", type=int, default=12)
+    p.add_argument("--nx", type=int, default=4)
+    p.add_argument("--steps-per-rev", type=int, default=64)
+    p.add_argument("--ranks-per-row", type=int, default=1)
+    p.add_argument("--cus", type=int, default=1)
+    p.add_argument("--inner", type=int, default=4)
+    p.add_argument("--p-out", type=float, default=1.02)
+    p.add_argument("--checkpoint-every", type=int, default=2)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the recovery-timeline JSON artifact here")
+    p.set_defaults(fn=_cmd_resilience)
 
     p = sub.add_parser("scaling", help="evaluate the performance model")
     p.add_argument("--problem", default="1-10_4.58B")

@@ -12,6 +12,7 @@ monitors, timings, traffic and search statistics.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,8 +29,14 @@ from repro.hydra.solver import HydraSolver, Numerics
 from repro.mesh.annulus import make_row_mesh
 from repro.mesh.rig250 import Rig250Config
 from repro.op2.distribute import build_local_problem, build_serial_problem, plan_distribution
-from repro.smpi import Traffic, run_ranks
-from repro.telemetry.recorder import span as _tspan, use_recorder
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointManifest,
+    load_manifest,
+)
+from repro.smpi import FaultPlan, Traffic, run_ranks
+from repro.telemetry.recorder import active_recorder, span as _tspan, use_recorder
 from repro.telemetry.timeline import Timeline, TraceSession
 from repro.util.timing import Timer
 
@@ -77,6 +84,17 @@ class CoupledRunConfig:
     #: record telemetry spans on every rank; the merged
     #: :class:`~repro.telemetry.timeline.Timeline` lands on the result
     trace: bool = False
+    #: write a coordinated checkpoint set every k physical steps
+    #: (0 = off; requires ``checkpoint_dir``)
+    checkpoint_every: int = 0
+    #: directory for checkpoint sets (see :mod:`repro.resilience`)
+    checkpoint_dir: str | os.PathLike | None = None
+    #: deterministic fault injection (crashes, message faults)
+    fault_plan: FaultPlan | None = None
+    #: per-request receive timeout on CU serve loops (None = the
+    #: communicator default): a dead or wedged client then surfaces as
+    #: a SimMPIError on the CU instead of an indefinite hang
+    cu_request_timeout: float | None = None
 
     def ranks_of(self) -> list[int]:
         n = self.rig.n_rows
@@ -120,6 +138,10 @@ class _Setup:
     nsteps: int
     n_world: int
     tracer: TraceSession | None = None
+    #: committed checkpoint set to restart from (None = cold start)
+    resume: CheckpointManifest | None = None
+    #: checkpoint writer (None = checkpointing off)
+    ckpt: CheckpointManager | None = None
 
 
 @dataclass
@@ -133,6 +155,11 @@ class CoupledResult:
     dt: float
     #: merged cross-rank telemetry (None unless the run had trace=True)
     timeline: Timeline | None = None
+    #: physical step this run restarted from (0 = cold start)
+    resumed_from: int = 0
+    #: recovery history when the run was driven by
+    #: :func:`repro.resilience.run_resilient` (a ``RecoveryLog``)
+    recovery: object | None = None
 
     def pressure_profile(self) -> tuple[np.ndarray, np.ndarray]:
         """Mean static pressure vs axial station across the machine."""
@@ -157,6 +184,23 @@ class CoupledResult:
                 + row["timers"].get("coupler_wait", 0.0)
             if total > 0:
                 fractions.append(row["timers"].get("coupler_wait", 0.0) / total)
+        return max(fractions) if fractions else 0.0
+
+    def checkpoint_overhead(self) -> float:
+        """Worst-rank fraction of wall time spent writing checkpoints.
+
+        max over rows of checkpoint_write / (physical_step +
+        coupler_wait + checkpoint_write); 0.0 when checkpointing was
+        off. The acceptance bar for ``checkpoint_every=5`` on the
+        bench config is < 10%.
+        """
+        fractions = []
+        for row in self.rows:
+            ck = row["timers"].get("checkpoint_write", 0.0)
+            total = (row["timers"].get("physical_step", 0.0)
+                     + row["timers"].get("coupler_wait", 0.0) + ck)
+            if total > 0:
+                fractions.append(ck / total)
         return max(fractions) if fractions else 0.0
 
     def interface_wiggle(self) -> float:
@@ -352,27 +396,63 @@ class CoupledDriver:
         return interfaces, directions
 
     # -- execution ---------------------------------------------------------
-    def run(self, nsteps: int) -> CoupledResult:
-        """Run ``nsteps`` outer time steps of the coupled machine."""
+    def _resolve_resume(self, resume_from, nsteps: int
+                        ) -> CheckpointManifest | None:
+        """Validate a resume target against this driver's world."""
+        if resume_from is None:
+            return None
+        if isinstance(resume_from, CheckpointManifest):
+            manifest = resume_from
+        else:
+            manifest = load_manifest(resume_from)
+        if manifest.world != self.n_world:
+            raise CheckpointError(
+                f"checkpoint {manifest.path} was written by a "
+                f"{manifest.world}-rank world; this config builds "
+                f"{self.n_world} ranks")
+        if manifest.step > nsteps:
+            raise CheckpointError(
+                f"checkpoint {manifest.path} is at step {manifest.step}, "
+                f"beyond the requested {nsteps} steps")
+        return manifest
+
+    def run(self, nsteps: int, resume_from=None) -> CoupledResult:
+        """Run ``nsteps`` outer time steps of the coupled machine.
+
+        ``resume_from`` restarts from a committed checkpoint set: a
+        :class:`~repro.resilience.checkpoint.CheckpointManifest` or a
+        path to a ``step-NNNNNN`` directory. The restarted run replays
+        steps ``manifest.step+1 .. nsteps`` and is bitwise-identical
+        to an uninterrupted run of the same config.
+        """
         if nsteps < 0:
             raise ValueError("nsteps must be >= 0")
+        cfg = self.cfg
+        resume = self._resolve_resume(resume_from, nsteps)
+        ckpt = None
+        if cfg.checkpoint_every > 0:
+            if cfg.checkpoint_dir is None:
+                raise ValueError(
+                    "checkpoint_every > 0 requires checkpoint_dir")
+            ckpt = CheckpointManager(cfg.checkpoint_dir, self.n_world)
         setup = _Setup(
-            cfg=self.cfg, meshes=self.meshes, problems=self.problems,
+            cfg=cfg, meshes=self.meshes, problems=self.problems,
             layouts=self.layouts, row_ranks=self.row_ranks,
             cu_ranks=self.cu_ranks, interfaces=self.interfaces,
             directions=self.directions, nsteps=nsteps,
             n_world=self.n_world,
-            tracer=TraceSession() if self.cfg.trace else None,
+            tracer=TraceSession() if cfg.trace else None,
+            resume=resume, ckpt=ckpt,
         )
         traffic = Traffic()
         scheduler = None
-        if self.cfg.schedule_seed is not None:
+        if cfg.schedule_seed is not None:
             from repro.smpi import DeterministicScheduler
 
-            scheduler = DeterministicScheduler(self.cfg.schedule_seed)
+            scheduler = DeterministicScheduler(cfg.schedule_seed)
         results = run_ranks(self.n_world, _rank_main, args=(setup,),
-                            timeout=self.cfg.timeout, traffic=traffic,
-                            scheduler=scheduler)
+                            timeout=cfg.timeout, traffic=traffic,
+                            scheduler=scheduler, fault_plan=cfg.fault_plan)
         rows = [r for r in results if r["role"] == "hs" and r["reporter"]]
         cus = [r for r in results if r["role"] == "cu"]
         rows.sort(key=lambda r: r["row"])
@@ -382,8 +462,9 @@ class CoupledDriver:
                 rec.validate()
             timeline = setup.tracer.timeline()
         return CoupledResult(rows=rows, cus=cus, traffic=traffic,
-                             nsteps=nsteps, dt=self.cfg.rig.dt_outer,
-                             timeline=timeline)
+                             nsteps=nsteps, dt=cfg.rig.dt_outer,
+                             timeline=timeline,
+                             resumed_from=resume.step if resume else 0)
 
 
 # --------------------------------------------------------------------------
@@ -440,16 +521,97 @@ def _hs_main(world, sub, row_idx: int, setup: _Setup):
 
     every = max(1, cfg.couple_every)
     probe = _ProbeRecorder(solver, session)
-    _hs_couple(world, session, row_idx, setup, t=0.0)
-    for step in range(1, setup.nsteps + 1):
+    start_step = 0
+    if setup.resume is not None:
+        _hs_restore(world, solver, probe, setup.resume)
+        start_step = setup.resume.step
+    else:
+        _hs_couple(world, session, row_idx, setup, t=0.0)
+    for step in range(start_step + 1, setup.nsteps + 1):
+        world.notify_step(step)
         solver.advance_physical()
         if step % every == 0:
             _hs_couple(world, session, row_idx, setup,
                        t=step * rig.dt_outer)
+            if solver.num.guard:
+                # corrupted sliding-plane traffic must trip here, at
+                # the step it arrives — never inside a checkpoint set
+                solver.check_health()
         probe.record()
+        if setup.ckpt is not None and step % cfg.checkpoint_every == 0:
+            with solver.timers["checkpoint_write"]:
+                _coordinated_checkpoint(
+                    world, setup, step, _hs_member_payload(solver, probe))
 
     return _hs_report(world, sub, solver, session, row_idx, setup,
                       probe)
+
+
+def _hs_member_payload(solver: HydraSolver,
+                       probe: "_ProbeRecorder") -> dict:
+    """This HS rank's checkpoint member: full BDF state + probes.
+
+    ``data_with_halos`` round-trips the float64 payload exactly;
+    restore marks halos stale so the re-exchange reproduces them
+    bitwise anyway.
+    """
+    if probe.history:
+        hist = np.stack(probe.history)
+    else:
+        hist = np.zeros((0, probe._local.size))
+    return {
+        "q": solver.q.data_with_halos,
+        "qn": solver.qn.data_with_halos,
+        "qnm1": solver.qnm1.data_with_halos,
+        "clock": np.array([solver.time, float(solver.step)]),
+        "probe": hist,
+    }
+
+
+def _hs_restore(world, solver: HydraSolver, probe: "_ProbeRecorder",
+                manifest: CheckpointManifest) -> None:
+    """Load this HS rank's member of a committed checkpoint set."""
+    with np.load(manifest.member(world.rank)) as archive:
+        for name, dat in (("q", solver.q), ("qn", solver.qn),
+                          ("qnm1", solver.qnm1)):
+            data = archive[name]
+            if data.shape != dat.data_with_halos.shape:
+                raise CheckpointError(
+                    f"member field {name!r} has shape {data.shape}, "
+                    f"solver expects {dat.data_with_halos.shape}")
+            dat.data_with_halos[:] = data
+            dat.mark_halo_stale()
+        solver.time = float(archive["clock"][0])
+        solver.step = int(archive["clock"][1])
+        solver._pseudo_dt = None
+        probe.history = [row.copy() for row in archive["probe"]]
+
+
+def _coordinated_checkpoint(world, setup: _Setup, step: int,
+                            payload: dict) -> None:
+    """Write one consistent checkpoint set across the whole world.
+
+    Stage members -> barrier -> rank 0 hashes + commits -> barrier.
+    The barriers make the set *coordinated*: no rank proceeds into
+    step N+1 physics until the step-N set is either fully committed
+    or (on a crash) left as an ignorable ``.tmp`` staging dir.
+    """
+    ckpt = setup.ckpt
+    with _tspan("checkpoint", "resilience.checkpoint_write", step=step):
+        if world.rank == 0:
+            ckpt.prepare(step)
+        world.barrier()
+        ckpt.write_member(step, world.rank, **payload)
+        world.barrier()
+        if world.rank == 0:
+            ckpt.commit(step, meta={
+                "nsteps": setup.nsteps,
+                "couple_every": setup.cfg.couple_every,
+            })
+        world.barrier()
+    rec = active_recorder()
+    if rec is not None:
+        rec.counter("resilience.checkpoint_write")
 
 
 def _hs_couple(world, session: HydraSession, row_idx: int, setup: _Setup,
@@ -662,10 +824,11 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
     my_dirs = [d for d in setup.directions if d.k == k]
     rig = setup.cfg.rig
     every = max(1, cfg.couple_every)
-    rounds = setup.nsteps // every + 1
     serve = Timer(name="serve", cat="coupler.serve")
-    for round_idx in range(rounds):
-        t = round_idx * every * rig.dt_outer
+    ck_timer = Timer(name="checkpoint_write",
+                     cat="resilience.checkpoint_write")
+
+    def serve_round(t: float) -> None:
         serve.start()
         for d in my_dirs:
             # assemble donor grid from every src-row rank's piece
@@ -674,7 +837,8 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
             donors = np.zeros((n_grid, 5))
             for src_rank in setup.row_ranks[d.src_row]:
                 positions, values = world.recv(
-                    source=src_rank, tag=_tag(_TAG_DONOR, d.k, d.direction))
+                    source=src_rank, tag=_tag(_TAG_DONOR, d.k, d.direction),
+                    timeout=cfg.cu_request_timeout)
                 if positions.size:
                     donors[positions] = values
             src = "up" if d.direction == 0 else "down"
@@ -693,6 +857,24 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
                            tag=_tag(_TAG_RESULT, d.k, d.direction))
         serve.stop()
         acct.rounds += 1
+
+    # the CU walks the same per-step schedule as the sessions so both
+    # sides hit fault-injection step marks and checkpoint barriers in
+    # the same order
+    start_step = 0
+    if setup.resume is not None:
+        _cu_restore(world, acct, setup.resume)
+        start_step = setup.resume.step
+    else:
+        serve_round(t=0.0)
+    for step in range(start_step + 1, setup.nsteps + 1):
+        world.notify_step(step)
+        if step % every == 0:
+            serve_round(t=step * rig.dt_outer)
+        if setup.ckpt is not None and step % cfg.checkpoint_every == 0:
+            with ck_timer:
+                _coordinated_checkpoint(world, setup, step,
+                                        _cu_member_payload(acct))
     acct.serve_seconds = serve.elapsed
     return {
         "role": "cu",
@@ -701,4 +883,28 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
         "rounds": acct.rounds,
         "stats": acct.stats,
         "serve_seconds": acct.serve_seconds,
+        "checkpoint_seconds": ck_timer.elapsed,
     }
+
+
+def _cu_member_payload(acct: CUAccounting) -> dict:
+    """A CU rank's checkpoint member: its accounting counters.
+
+    Restoring them makes a resumed run's merged CU report (rounds,
+    search statistics) identical to an uninterrupted run's.
+    """
+    s = acct.stats
+    return {
+        "rounds": np.array([acct.rounds], dtype=np.int64),
+        "stats": np.array([s.queries, s.comparisons, s.build_ops,
+                           s.misses], dtype=np.int64),
+    }
+
+
+def _cu_restore(world, acct: CUAccounting,
+                manifest: CheckpointManifest) -> None:
+    with np.load(manifest.member(world.rank)) as archive:
+        acct.rounds = int(archive["rounds"][0])
+        q, c, b, m = (int(v) for v in archive["stats"])
+        acct.stats.merge(SearchStats(queries=q, comparisons=c,
+                                     build_ops=b, misses=m))

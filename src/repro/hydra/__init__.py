@@ -15,10 +15,11 @@ rotor-stator interaction the sliding planes must transport.
 
 from repro.hydra.gas import GAMMA, FlowState, conserved, primitives, total_pressure
 from repro.hydra.problem import row_problem
-from repro.hydra.solver import HydraSolver, Numerics
+from repro.hydra.solver import HydraSolver, Numerics, SolverDivergence
 from repro.hydra.session import HydraSession
 
 __all__ = [
     "GAMMA", "FlowState", "conserved", "primitives", "total_pressure",
     "row_problem", "HydraSolver", "Numerics", "HydraSession",
+    "SolverDivergence",
 ]

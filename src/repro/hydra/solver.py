@@ -18,8 +18,27 @@ from repro.hydra.gas import GAMMA, FlowState, primitives
 from repro.hydra.kernels import KERNELS
 from repro.mesh.config import RowConfig
 from repro.op2.distribute import LocalProblem
-from repro.telemetry.recorder import span as _tspan
+from repro.telemetry.recorder import active_recorder, span as _tspan
+from repro.util.atomicio import atomic_savez
 from repro.util.timing import TimerRegistry
+
+
+class SolverDivergence(RuntimeError):
+    """The solution state went unphysical (NaN/Inf or runaway growth).
+
+    Raised by the in-run health guard (``Numerics.guard=True``) at a
+    physical-step boundary *before* garbage can propagate across
+    sliding planes into neighbouring rows. Carries the ``step`` the
+    check fired at and a ``reason`` string; the resilience supervisor
+    treats it as a recoverable fault (rollback to checkpoint with CFL
+    reduction).
+    """
+
+    def __init__(self, message: str, step: int | None = None,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.step = step
+        self.reason = reason
 
 
 @dataclass
@@ -39,12 +58,21 @@ class Numerics:
     smooth_iters: int = 2
     #: compute backend override (None = thread config default)
     backend: str | None = None
+    #: in-run health guard: check the state for NaN/Inf and runaway
+    #: magnitude after every physical step, raising
+    #: :class:`SolverDivergence` instead of propagating garbage
+    guard: bool = False
+    #: |q| beyond this is declared divergent (guard only)
+    divergence_limit: float = 1e6
 
     def __post_init__(self) -> None:
         if self.cfl <= 0:
             raise ValueError(f"cfl must be > 0, got {self.cfl}")
         if self.inner_iters < 1:
             raise ValueError(f"inner_iters must be >= 1, got {self.inner_iters}")
+        if self.divergence_limit <= 0:
+            raise ValueError(
+                f"divergence_limit must be > 0, got {self.divergence_limit}")
 
 
 class HydraSolver:
@@ -65,6 +93,7 @@ class HydraSolver:
         self.timers = TimerRegistry(categories={
             "coupler_wait": "coupler.wait",
             "physical_step": "hydra.step",
+            "checkpoint_write": "resilience.checkpoint_write",
         })
 
         s = local.sets
@@ -263,10 +292,84 @@ class HydraSolver:
                 self.inner_iteration()
             self.step += 1
             self.time += self.dt_outer
+        if self.num.guard:
+            self.check_health()
 
     def run(self, nsteps: int) -> None:
         for _ in range(nsteps):
             self.advance_physical()
+
+    # -- health guard ---------------------------------------------------
+    def check_health(self) -> None:
+        """Raise :class:`SolverDivergence` if the state is unphysical.
+
+        Two checks, both on this rank's owned values: any NaN/Inf
+        (e.g. from a corrupted sliding-plane transfer), and any
+        component magnitude beyond ``Numerics.divergence_limit``
+        (runaway instability). Local by design — the raising rank
+        aborts the world through the standard failure path, so no
+        collective is needed on the healthy path beyond one scan.
+        """
+        q = self.q.data_ro
+        finite = np.isfinite(q)
+        if not finite.all():
+            bad = int(q.size - np.count_nonzero(finite))
+            rec = active_recorder()
+            if rec is not None:
+                rec.counter("resilience.health_trips")
+            raise SolverDivergence(
+                f"row {self.config.name!r}: {bad} non-finite state "
+                f"entries after step {self.step}",
+                step=self.step, reason="nan")
+        peak = float(np.abs(q).max()) if q.size else 0.0
+        if peak > self.num.divergence_limit:
+            rec = active_recorder()
+            if rec is not None:
+                rec.counter("resilience.health_trips")
+            raise SolverDivergence(
+                f"row {self.config.name!r}: |q| reached {peak:.3e} "
+                f"(limit {self.num.divergence_limit:.3e}) after step "
+                f"{self.step}",
+                step=self.step, reason="divergence")
+
+    def run_guarded(self, nsteps: int, checkpoint_path,
+                    checkpoint_every: int = 5, max_rollbacks: int = 3,
+                    cfl_backoff: float = 0.5) -> int:
+        """March ``nsteps`` with rollback-to-checkpoint on divergence.
+
+        Standalone (single-solver) graceful degradation: checkpoints
+        every ``checkpoint_every`` steps; when the health guard trips,
+        restores the last checkpoint, multiplies CFL by ``cfl_backoff``
+        and resumes, up to ``max_rollbacks`` times before re-raising.
+        Returns the number of rollbacks performed. The coupled-run
+        equivalent is the :mod:`repro.resilience` supervisor.
+        """
+        guard_prev = self.num.guard
+        self.num.guard = True
+        rollbacks = 0
+        target = self.step + nsteps
+        ckpt_file = self.checkpoint(checkpoint_path)
+        try:
+            while self.step < target:
+                try:
+                    self.advance_physical()
+                except SolverDivergence:
+                    if rollbacks >= max_rollbacks:
+                        raise
+                    rollbacks += 1
+                    self.restore(ckpt_file)
+                    self.num.cfl *= cfl_backoff
+                    self.g_cfl.value = self.num.cfl
+                    self._pseudo_dt = None
+                    rec = active_recorder()
+                    if rec is not None:
+                        rec.counter("resilience.rollbacks")
+                    continue
+                if self.step % checkpoint_every == 0:
+                    ckpt_file = self.checkpoint(checkpoint_path)
+        finally:
+            self.num.guard = guard_prev
+        return rollbacks
 
     def solve_steady(self, iters: int = 100, tol: float = 1e-10,
                      check_every: int = 10) -> list[float]:
@@ -295,14 +398,22 @@ class HydraSolver:
         return history
 
     # -- checkpointing ------------------------------------------------
-    def checkpoint(self, path) -> None:
-        """Save the full time-stepping state (q, qn, qnm1, clock) to npz."""
-        np.savez_compressed(
-            path,
-            q=self.q.data_with_halos, qn=self.qn.data_with_halos,
-            qnm1=self.qnm1.data_with_halos,
-            clock=np.array([self.time, float(self.step)]),
-        )
+    def checkpoint(self, path) -> str:
+        """Save the full time-stepping state (q, qn, qnm1, clock) to npz.
+
+        Committed atomically (tmp + ``os.replace``): a crash mid-write
+        leaves the previous checkpoint intact, never a torn archive.
+        Returns the written path (``.npz`` appended if missing) —
+        pass that to :meth:`restore`.
+        """
+        with _tspan("checkpoint", "resilience.checkpoint_write",
+                    step=self.step):
+            return atomic_savez(
+                path, compressed=True,
+                q=self.q.data_with_halos, qn=self.qn.data_with_halos,
+                qnm1=self.qnm1.data_with_halos,
+                clock=np.array([self.time, float(self.step)]),
+            )
 
     def restore(self, path) -> None:
         """Load a checkpoint written by :meth:`checkpoint`."""

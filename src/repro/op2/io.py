@@ -3,7 +3,10 @@
 The paper's OP2 uses HDF5-based parallel I/O; this sandbox has no
 h5py, so snapshots use numpy's npz container with the same structure:
 set sizes, map tables, and dat payloads, each namespaced by kind.
-Round-tripping a GlobalProblem is exact.
+Round-tripping a GlobalProblem is exact. All writers commit atomically
+(tmp file + ``os.replace``), so a crash mid-save leaves the previous
+archive intact instead of a torn zip that :func:`load_problem`
+explodes on.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import numpy as np
 
 from repro.op2.dat import Dat
 from repro.op2.distribute import GlobalProblem
+from repro.util.atomicio import atomic_savez
 
 
 def save_problem(path: str | os.PathLike, problem: GlobalProblem) -> None:
@@ -27,7 +31,7 @@ def save_problem(path: str | os.PathLike, problem: GlobalProblem) -> None:
     for dname, (sname, data) in problem.dats.items():
         payload[f"dat:{dname}:data"] = data
         payload[f"dat:{dname}:set"] = np.array([sname])
-    np.savez_compressed(path, **payload)
+    atomic_savez(path, compressed=True, **payload)
 
 
 def load_problem(path: str | os.PathLike) -> GlobalProblem:
@@ -52,8 +56,8 @@ def load_problem(path: str | os.PathLike) -> GlobalProblem:
 
 def save_dat(path: str | os.PathLike, dat: Dat) -> None:
     """Write one dat's owned values (e.g. a checkpointed flow field)."""
-    np.savez_compressed(path, name=np.array([dat.name]),
-                        set=np.array([dat.set.name]), data=dat.data_ro)
+    atomic_savez(path, compressed=True, name=np.array([dat.name]),
+                 set=np.array([dat.set.name]), data=dat.data_ro)
 
 
 def load_dat_values(path: str | os.PathLike) -> tuple[str, str, np.ndarray]:

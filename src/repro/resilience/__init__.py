@@ -1,0 +1,53 @@
+"""repro.resilience: fault-tolerant coupled runs.
+
+Three cooperating layers turn the coupled compressor into a machine
+that survives injected faults:
+
+- **Deterministic fault injection** —
+  :class:`~repro.smpi.faults.FaultPlan` scripts rank crashes and
+  message faults (drop / duplicate / delay / corrupt) against the
+  simulated-MPI world, reproducibly under the seeded scheduler.
+- **Coordinated checkpoint/restart** — :mod:`.checkpoint` writes one
+  manifest-guarded snapshot set per physical step boundary (every
+  rank a member file, sha256-verified, committed by a single
+  ``os.replace``); :func:`resume_coupled` restarts bitwise-identically
+  from the newest intact set.
+- **Supervised recovery** — :func:`run_resilient` retries a failed
+  run from the latest checkpoint with capped exponential backoff and
+  a retry budget, raising :class:`RunAborted` with the full failure
+  chain once spent.
+
+Telemetry counters: ``resilience.checkpoint_write``,
+``resilience.recoveries``, ``resilience.faults_injected``,
+``resilience.health_trips``, ``resilience.rollbacks``.
+"""
+
+from repro.hydra.solver import SolverDivergence
+from repro.resilience.checkpoint import (
+    MANIFEST_SCHEMA,
+    CheckpointError,
+    CheckpointManager,
+    CheckpointManifest,
+    latest_valid_checkpoint,
+    load_manifest,
+)
+from repro.resilience.supervisor import (
+    RECOVERABLE,
+    RecoveryEvent,
+    RecoveryLog,
+    RecoveryPolicy,
+    RunAborted,
+    resume_coupled,
+    run_resilient,
+)
+from repro.smpi.errors import DeadlockError, RankFailure
+from repro.smpi.faults import CrashFault, FaultPlan, FaultRecord, MessageFault
+
+__all__ = [
+    "MANIFEST_SCHEMA", "CheckpointError", "CheckpointManager",
+    "CheckpointManifest", "latest_valid_checkpoint", "load_manifest",
+    "RECOVERABLE", "RecoveryEvent", "RecoveryLog", "RecoveryPolicy",
+    "RunAborted", "resume_coupled", "run_resilient",
+    "SolverDivergence", "DeadlockError", "RankFailure",
+    "CrashFault", "FaultPlan", "FaultRecord", "MessageFault",
+]

@@ -25,14 +25,21 @@ from repro.smpi.comm import (
     waitall,
 )
 from repro.smpi.deadlock import DeadlockError, WaitEdge, WaitRegistry, format_cycle
+from repro.smpi.errors import RankFailure
+from repro.smpi.faults import CrashFault, FaultPlan, FaultRecord, MessageFault
 from repro.smpi.schedule import DeterministicScheduler, ScheduleRun, sweep_schedules
 from repro.smpi.traffic import Traffic, TrafficRecord
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "CrashFault",
     "DeadlockError",
     "DeterministicScheduler",
+    "FaultPlan",
+    "FaultRecord",
+    "MessageFault",
+    "RankFailure",
     "Request",
     "ScheduleRun",
     "SimAbort",

@@ -50,6 +50,7 @@ from repro.smpi.traffic import Traffic, payload_nbytes
 from repro.telemetry.recorder import active_recorder, span as _tspan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.smpi.faults import FaultPlan
     from repro.smpi.schedule import DeterministicScheduler
 
 ANY_SOURCE = -1
@@ -299,7 +300,8 @@ class _CommState:
     def __init__(self, size: int, world_ranks: Sequence[int],
                  traffic: Traffic, abort: threading.Event,
                  timeout: float, registry: WaitRegistry | None = None,
-                 scheduler: "DeterministicScheduler | None" = None) -> None:
+                 scheduler: "DeterministicScheduler | None" = None,
+                 faults: "FaultPlan | None" = None) -> None:
         self.size = size
         self.world_ranks = list(world_ranks)
         self.traffic = traffic
@@ -307,6 +309,7 @@ class _CommState:
         self.timeout = timeout
         self.registry = registry if registry is not None else WaitRegistry()
         self.scheduler = scheduler
+        self.faults = faults
         self.mailboxes = [_Mailbox(self, r) for r in range(size)]
         self.collective = _Collective(self)
         self._split_lock = threading.Lock()
@@ -339,6 +342,18 @@ class SimComm:
         """Label subsequent sends from this rank for traffic accounting."""
         self._state.traffic.set_phase(self.world_rank, phase)
 
+    # -- fault injection ------------------------------------------------
+    def notify_step(self, step: int) -> None:
+        """Announce a physical-step boundary to the installed fault plan.
+
+        No-op without a plan. A matching crash fault raises
+        :class:`~repro.smpi.errors.RankFailure` here, which aborts the
+        world through the standard failure path.
+        """
+        plan = self._state.faults
+        if plan is not None:
+            plan.on_step(self.world_rank, step)
+
     # -- point to point --------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Buffered blocking send (copies numpy payloads)."""
@@ -346,46 +361,71 @@ class SimComm:
             raise SimMPIError(f"send dest {dest} out of range [0, {self.size})")
         payload = _copy_payload(obj)
         nbytes = payload_nbytes(obj)
-        self._state.traffic.record(
-            self.world_rank, self._state.world_ranks[dest], nbytes
-        )
+        dst_world = self._state.world_ranks[dest]
+        self._state.traffic.record(self.world_rank, dst_world, nbytes)
         rec = active_recorder()
         if rec is not None:
             rec.instant("send", "smpi.send",
-                        dst=self._state.world_ranks[dest], tag=tag,
+                        dst=dst_world, tag=tag,
                         nbytes=nbytes,
                         phase=self._state.traffic.phase_of(self.world_rank))
             rec.counter("smpi.messages")
             rec.counter("smpi.nbytes", nbytes)
-        self._state.mailboxes[dest].put(self.rank, tag, payload)
+        plan = self._state.faults
+        if plan is not None:
+            self._send_with_faults(plan, payload, dest, dst_world, tag)
+        else:
+            self._state.mailboxes[dest].put(self.rank, tag, payload)
         if self._state.scheduler is not None:
             self._state.scheduler.maybe_yield()
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        """Blocking receive; returns the payload."""
+    def _send_with_faults(self, plan, payload: Any, dest: int,
+                          dst_world: int, tag: int) -> None:
+        """Apply the fault plan's verdict to one outgoing message."""
+        actions = plan.on_send(self.world_rank, dst_world, tag)
+        mailbox = self._state.mailboxes[dest]
+        rank = self.rank
+        if actions.corrupt is not None:
+            payload = actions.corrupt(payload)
+        if actions.hold:
+            plan.hold_message(self.world_rank, dst_world,
+                              lambda: mailbox.put(rank, tag, payload))
+            return
+        for _ in range(actions.deliver):
+            mailbox.put(rank, tag, payload)
+        # a prior delayed message to this destination arrives *after*
+        # this one — the reordering the delay fault models
+        plan.release_held(self.world_rank, dst_world)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: float | None = None) -> Any:
+        """Blocking receive; returns the payload.
+
+        ``timeout`` overrides the communicator-wide default for this
+        one receive — serve loops use it so a dead client degrades to
+        a :class:`~repro.smpi.errors.SimMPIError` instead of a hang.
+        """
+        timeout = self._state.timeout if timeout is None else timeout
         rec = active_recorder()
         if rec is None:
-            msg = self._state.mailboxes[self.rank].get(
-                source, tag, self._state.timeout)
+            msg = self._state.mailboxes[self.rank].get(source, tag, timeout)
             return msg.payload
         t0 = time.perf_counter()
-        msg = self._state.mailboxes[self.rank].get(source, tag,
-                                                   self._state.timeout)
+        msg = self._state.mailboxes[self.rank].get(source, tag, timeout)
         rec.add_span("recv", "smpi.recv", t0, time.perf_counter(),
                      src=self._state.world_ranks[msg.src], tag=msg.tag)
         return msg.payload
 
-    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG
-                    ) -> tuple[Any, int, int]:
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                    timeout: float | None = None) -> tuple[Any, int, int]:
         """Blocking receive returning ``(payload, source, tag)``."""
+        timeout = self._state.timeout if timeout is None else timeout
         rec = active_recorder()
         if rec is None:
-            msg = self._state.mailboxes[self.rank].get(
-                source, tag, self._state.timeout)
+            msg = self._state.mailboxes[self.rank].get(source, tag, timeout)
             return msg.payload, msg.src, msg.tag
         t0 = time.perf_counter()
-        msg = self._state.mailboxes[self.rank].get(source, tag,
-                                                   self._state.timeout)
+        msg = self._state.mailboxes[self.rank].get(source, tag, timeout)
         rec.add_span("recv", "smpi.recv", t0, time.perf_counter(),
                      src=self._state.world_ranks[msg.src], tag=msg.tag)
         return msg.payload, msg.src, msg.tag
@@ -538,6 +578,7 @@ class SimComm:
                         timeout=state.timeout,
                         registry=state.registry,
                         scheduler=state.scheduler,
+                        faults=state.faults,
                     )
                     built[c] = sub
                     for newrank, r in enumerate(ranks):
@@ -562,7 +603,8 @@ def waitall(requests: list[Request]) -> list[Any]:
 def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
               timeout: float = DEFAULT_TIMEOUT,
               traffic: Traffic | None = None,
-              scheduler: "DeterministicScheduler | None" = None) -> list[Any]:
+              scheduler: "DeterministicScheduler | None" = None,
+              fault_plan: "FaultPlan | None" = None) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` cooperating threads.
 
     Returns each rank's return value, ordered by rank. If any rank
@@ -572,7 +614,10 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
     :class:`~repro.smpi.errors.DeadlockError` with the wait-for cycle
     long before ``timeout``. Pass a
     :class:`~repro.smpi.schedule.DeterministicScheduler` to serialize
-    the ranks under a seeded, replayable interleaving.
+    the ranks under a seeded, replayable interleaving, and/or a
+    :class:`~repro.smpi.faults.FaultPlan` to inject crashes and
+    message faults deterministically (world ranks and every
+    sub-communicator share the plan).
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -582,7 +627,8 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
     if scheduler is not None:
         scheduler.attach(nranks, abort)
     state = _CommState(nranks, list(range(nranks)), traffic, abort, timeout,
-                       registry=registry, scheduler=scheduler)
+                       registry=registry, scheduler=scheduler,
+                       faults=fault_plan)
     results: list[Any] = [None] * nranks
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()

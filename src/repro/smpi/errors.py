@@ -16,6 +16,22 @@ class SimAbort(RuntimeError):
     """Raised inside ranks when another rank has failed and the run aborts."""
 
 
+class RankFailure(SimMPIError):
+    """A rank was killed by an injected fault (or a real failure).
+
+    Carries the ``rank`` that died and the physical ``step`` it died at
+    (``None`` when the failure was not tied to a step boundary), so a
+    supervisor can log *where* the run died before deciding whether to
+    retry from a checkpoint.
+    """
+
+    def __init__(self, message: str, rank: int | None = None,
+                 step: int | None = None) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.step = step
+
+
 class DeadlockError(SimMPIError):
     """A wait-for cycle was detected among blocked ranks.
 

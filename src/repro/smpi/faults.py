@@ -1,0 +1,295 @@
+"""Deterministic fault injection for simulated-MPI runs.
+
+A :class:`FaultPlan` is a declarative list of faults installed on a
+world via ``run_ranks(..., fault_plan=...)`` (or
+``CoupledRunConfig.fault_plan``). Two classes of fault exist:
+
+* **Crash faults** kill a rank at a physical-step boundary: the
+  application calls :meth:`~repro.smpi.comm.SimComm.notify_step` at
+  the top of each step and the plan raises
+  :class:`~repro.smpi.errors.RankFailure` on the matching rank — the
+  standard abort machinery then tears the world down exactly as a real
+  rank death would.
+* **Message faults** perturb matched point-to-point traffic inside
+  :meth:`~repro.smpi.comm.SimComm.send`: ``drop`` (never delivered),
+  ``duplicate`` (delivered twice), ``delay`` (held back and re-injected
+  after the sender's next send to the same destination — a
+  reordering), and ``corrupt`` (NaN poke or a single bit flip in a
+  float payload — silent data corruption).
+
+Matching is by world-rank ``(src, dst, tag, count)`` where ``count``
+selects the Nth matching message (0-based); ``None`` wildcards any
+field. Every fault fires **once** — after firing it is spent, so a
+supervisor retrying from a checkpoint replays the same schedule
+without re-hitting the fault (each failure scenario is a regression
+test, not a flake). Under the PR-1
+:class:`~repro.smpi.schedule.DeterministicScheduler` the whole
+injected history is replayable byte for byte.
+
+Fired faults are recorded on :attr:`FaultPlan.fired` and counted on
+the active telemetry recorder (``resilience.faults_injected``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.smpi.errors import RankFailure
+from repro.telemetry.recorder import active_recorder
+
+__all__ = ["FaultPlan", "FaultRecord", "MessageFault", "CrashFault"]
+
+_MESSAGE_KINDS = ("drop", "duplicate", "delay", "corrupt")
+_CORRUPT_MODES = ("nan", "bitflip")
+
+
+@dataclass
+class CrashFault:
+    """Kill ``rank`` when it reaches physical step ``step``."""
+
+    rank: int
+    step: int
+    fired: bool = False
+
+
+@dataclass
+class MessageFault:
+    """One matched point-to-point perturbation.
+
+    ``src``/``dst``/``tag`` are world-rank / tag filters (``None`` =
+    any); ``count`` picks the Nth message matching the filters
+    (0-based). ``mode`` only applies to ``kind="corrupt"``.
+    """
+
+    kind: str
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    count: int = 0
+    mode: str = "nan"
+    seen: int = 0
+    fired: bool = False
+
+    def matches(self, src: int, dst: int, tag: int) -> bool:
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst)
+                and (self.tag is None or self.tag == tag))
+
+
+@dataclass
+class FaultRecord:
+    """One fault that actually fired (for reports and assertions)."""
+
+    kind: str
+    rank: int | None = None
+    step: int | None = None
+    src: int | None = None
+    dst: int | None = None
+    tag: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class _SendActions:
+    """What :meth:`FaultPlan.on_send` decided about one message."""
+
+    deliver: int = 1                 #: delivery count (0 = dropped)
+    hold: bool = False               #: stash instead of delivering now
+    corrupt: Callable[[Any], Any] | None = None
+
+
+class FaultPlan:
+    """A seeded, reusable schedule of injected faults.
+
+    Build it fluently (every mutator returns ``self``)::
+
+        plan = (FaultPlan(seed=7)
+                .crash(rank=1, step=3)
+                .corrupt(src=2, dst=0, count=1, mode="bitflip"))
+
+    and install it with ``run_ranks(..., fault_plan=plan)`` or
+    ``CoupledRunConfig(fault_plan=plan)``. The plan is thread-safe;
+    the seed only feeds payload-corruption choices (which element,
+    which bit), so two runs with the same plan and a deterministic
+    schedule perturb identical bytes.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._crashes: list[CrashFault] = []
+        self._messages: list[MessageFault] = []
+        #: faults that fired, in firing order
+        self.fired: list[FaultRecord] = []
+        #: messages held back by ``delay``, keyed by (src, dst)
+        self._held: dict[tuple[int, int], list[Callable[[], None]]] = {}
+
+    # -- declaration ---------------------------------------------------
+    def crash(self, rank: int, step: int) -> "FaultPlan":
+        """Raise :class:`RankFailure` on ``rank`` at physical ``step``."""
+        if step < 0:
+            raise ValueError(f"crash step must be >= 0, got {step}")
+        self._crashes.append(CrashFault(rank=rank, step=step))
+        return self
+
+    def _message(self, kind: str, src: int | None, dst: int | None,
+                 tag: int | None, count: int, mode: str = "nan") -> "FaultPlan":
+        if kind not in _MESSAGE_KINDS:
+            raise ValueError(f"unknown message-fault kind {kind!r}")
+        if mode not in _CORRUPT_MODES:
+            raise ValueError(
+                f"corrupt mode must be one of {_CORRUPT_MODES}, got {mode!r}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._messages.append(MessageFault(kind=kind, src=src, dst=dst,
+                                           tag=tag, count=count, mode=mode))
+        return self
+
+    def drop(self, src: int | None = None, dst: int | None = None,
+             tag: int | None = None, count: int = 0) -> "FaultPlan":
+        """Silently discard the Nth matching message."""
+        return self._message("drop", src, dst, tag, count)
+
+    def duplicate(self, src: int | None = None, dst: int | None = None,
+                  tag: int | None = None, count: int = 0) -> "FaultPlan":
+        """Deliver the Nth matching message twice."""
+        return self._message("duplicate", src, dst, tag, count)
+
+    def delay(self, src: int | None = None, dst: int | None = None,
+              tag: int | None = None, count: int = 0) -> "FaultPlan":
+        """Hold the Nth matching message until the sender's next send
+        to the same destination (reordering two messages). A message
+        held back with no later send is lost — which the wait-for
+        deadlock detector then reports on the starved receiver."""
+        return self._message("delay", src, dst, tag, count)
+
+    def corrupt(self, src: int | None = None, dst: int | None = None,
+                tag: int | None = None, count: int = 0,
+                mode: str = "nan") -> "FaultPlan":
+        """Corrupt one float of the Nth matching message's payload.
+
+        ``mode="nan"`` pokes a NaN (loud, health guards catch it);
+        ``mode="bitflip"`` flips one random bit of one element (silent
+        — may be harmless noise or a huge excursion).
+        """
+        return self._message("corrupt", src, dst, tag, count, mode)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of declared faults that have not fired yet."""
+        with self._lock:
+            return (sum(1 for c in self._crashes if not c.fired)
+                    + sum(1 for m in self._messages if not m.fired))
+
+    def reset(self) -> None:
+        """Re-arm every fault (for deliberate repeat-failure tests)."""
+        with self._lock:
+            for c in self._crashes:
+                c.fired = False
+            for m in self._messages:
+                m.fired = False
+                m.seen = 0
+            self.fired.clear()
+            self._held.clear()
+
+    # -- runtime hooks (called by repro.smpi.comm) ---------------------
+    def _record(self, record: FaultRecord) -> None:
+        self.fired.append(record)
+        rec = active_recorder()
+        if rec is not None:
+            rec.counter("resilience.faults_injected")
+            rec.instant(f"fault:{record.kind}", "resilience.fault",
+                        step=record.step, src=record.src, dst=record.dst,
+                        tag=record.tag, detail=record.detail or None)
+
+    def on_step(self, rank: int, step: int) -> None:
+        """Crash hook: raises :class:`RankFailure` if a crash matches."""
+        with self._lock:
+            for c in self._crashes:
+                if c.fired or c.rank != rank or c.step != step:
+                    continue
+                c.fired = True
+                self._record(FaultRecord(kind="crash", rank=rank, step=step,
+                                         detail=f"injected crash at step {step}"))
+                raise RankFailure(
+                    f"rank {rank} killed by injected fault at step {step}",
+                    rank=rank, step=step)
+
+    def on_send(self, src: int, dst: int, tag: int) -> _SendActions:
+        """Message hook: classify one send; updates match counters."""
+        actions = _SendActions()
+        with self._lock:
+            for m in self._messages:
+                if m.fired or not m.matches(src, dst, tag):
+                    continue
+                if m.seen != m.count:
+                    m.seen += 1
+                    continue
+                m.seen += 1
+                m.fired = True
+                if m.kind == "drop":
+                    actions.deliver = 0
+                elif m.kind == "duplicate":
+                    actions.deliver = 2
+                elif m.kind == "delay":
+                    actions.hold = True
+                elif m.kind == "corrupt":
+                    mode = m.mode
+                    actions.corrupt = lambda p, _mode=mode: \
+                        self._corrupt_payload(p, _mode)
+                self._record(FaultRecord(
+                    kind=m.kind, src=src, dst=dst, tag=tag,
+                    detail=m.mode if m.kind == "corrupt" else ""))
+        return actions
+
+    def hold_message(self, src: int, dst: int,
+                     deliver: Callable[[], None]) -> None:
+        """Stash a delayed message's delivery thunk."""
+        with self._lock:
+            self._held.setdefault((src, dst), []).append(deliver)
+
+    def release_held(self, src: int, dst: int) -> None:
+        """Deliver (after the current message) anything held for (src, dst)."""
+        with self._lock:
+            held = self._held.pop((src, dst), [])
+        for deliver in held:
+            deliver()
+
+    # -- payload corruption --------------------------------------------
+    def _float_arrays(self, payload: Any) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        if isinstance(payload, np.ndarray):
+            if payload.dtype.kind == "f" and payload.size:
+                out.append(payload)
+        elif isinstance(payload, (tuple, list)):
+            for item in payload:
+                out.extend(self._float_arrays(item))
+        elif isinstance(payload, dict):
+            for item in payload.values():
+                out.extend(self._float_arrays(item))
+        return out
+
+    def _corrupt_payload(self, payload: Any, mode: str) -> Any:
+        """Corrupt one element of one float array in-place (payload is
+        already the receiver's private copy). Non-array payloads pass
+        through untouched — the fault is then a no-op, which counts as
+        'harmless'."""
+        arrays = self._float_arrays(payload)
+        if not arrays:
+            return payload
+        target = arrays[self._rng.randrange(len(arrays))]
+        idx = self._rng.randrange(target.size)
+        if mode == "nan":
+            target.reshape(-1)[idx] = np.nan
+        else:
+            flat = target.reshape(-1)
+            bits = flat[idx:idx + 1].view(np.uint64)
+            bits ^= np.uint64(1) << np.uint64(self._rng.randrange(64))
+        return payload

@@ -1,13 +1,23 @@
 """Shared utilities: timing, deterministic RNG, tables, validation."""
 
 from repro.util.ascii_plot import render_field, render_series
+from repro.util.atomicio import (
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_text,
+    sha256_file,
+)
 from repro.util.timing import Timer, TimerRegistry
 from repro.util.tables import format_table
 from repro.util.validation import check_index_array, check_positive, check_shape
 
 __all__ = [
+    "atomic_savez",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "render_field",
     "render_series",
+    "sha256_file",
     "Timer",
     "TimerRegistry",
     "format_table",

@@ -5,6 +5,12 @@ crashing rank or CU must abort the whole world with the original
 exception, misconfigurations must be caught before threads launch, and
 a communication deadlock must be reported as a wait-for cycle naming
 the stuck ranks — not ripen into a generic watchdog timeout.
+
+Rank crashes are injected through the declarative
+:class:`~repro.smpi.FaultPlan` (the PR-5 mechanism; one injection
+path, not two) — see ``test_resilience_faults.py`` for the plan API
+itself and ``test_resilience_recovery.py`` for recovery from these
+failures.
 """
 
 import time
@@ -17,40 +23,63 @@ from repro.coupler import CoupledDriver, CoupledRunConfig
 from repro.coupler.interface import SideGeometry, SlidingInterface
 from repro.hydra import FlowState, Numerics
 from repro.mesh import rig250_config
-from repro.smpi import DeadlockError, SimMPIError, run_ranks
+from repro.smpi import (
+    DeadlockError,
+    FaultPlan,
+    RankFailure,
+    SimMPIError,
+    run_ranks,
+)
 
 
 class TestRankFailures:
     def test_failing_rank_aborts_collectives(self):
+        plan = FaultPlan().crash(rank=1, step=1)
+
         def fn(comm):
-            if comm.rank == 1:
-                raise RuntimeError("injected failure")
+            comm.notify_step(1)
             # rank 0 would block forever here without the abort
             comm.allreduce(1.0, "sum")
 
-        with pytest.raises(RuntimeError, match="injected failure"):
-            run_ranks(2, fn, timeout=30.0)
+        with pytest.raises(RankFailure, match="injected fault at step 1"):
+            run_ranks(2, fn, fault_plan=plan, timeout=30.0)
 
     def test_failing_rank_aborts_subcommunicators(self):
+        plan = FaultPlan().crash(rank=3, step=1)
+
         def fn(comm):
             sub = comm.split(comm.rank % 2)
-            if comm.rank == 3:
-                raise RuntimeError("late failure")
+            comm.notify_step(1)  # kills rank 3 after the split
             sub.barrier()
             sub.allreduce(comm.rank, "sum")
             comm.barrier()
 
-        with pytest.raises(RuntimeError, match="late failure"):
-            run_ranks(4, fn, timeout=30.0)
+        with pytest.raises(RankFailure, match="rank 3"):
+            run_ranks(4, fn, fault_plan=plan, timeout=30.0)
 
     def test_first_failure_wins(self):
         """With several failing ranks, the lowest rank's error surfaces."""
+        plan = FaultPlan()
+        for rank in range(3):
+            plan.crash(rank=rank, step=1)
 
         def fn(comm):
-            raise ValueError(f"rank {comm.rank} failed")
+            comm.notify_step(1)
 
-        with pytest.raises(ValueError, match="rank 0 failed"):
-            run_ranks(3, fn)
+        with pytest.raises(RankFailure, match="rank 0"):
+            run_ranks(3, fn, fault_plan=plan)
+
+    def test_app_exception_still_aborts_world(self):
+        """Arbitrary application errors (not scripted by a FaultPlan)
+        keep the same abort semantics."""
+
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("app bug")
+            comm.allreduce(1.0, "sum")
+
+        with pytest.raises(RuntimeError, match="app bug"):
+            run_ranks(2, fn, timeout=30.0)
 
 
 class TestCoupledFailures:

@@ -1,0 +1,211 @@
+"""Deterministic fault injection: the FaultPlan API.
+
+Every declared fault must fire exactly once, at exactly the scripted
+point, reproducibly — an injected failure is a regression test, not a
+flake. These tests exercise each fault kind against small simulated-
+MPI worlds and check determinism under the seeded scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.smpi import (
+    DeterministicScheduler,
+    FaultPlan,
+    RankFailure,
+    run_ranks,
+)
+
+
+def _stepper(nsteps):
+    """Rank fn that just walks physical-step marks."""
+
+    def fn(comm):
+        for step in range(1, nsteps + 1):
+            comm.notify_step(step)
+            comm.barrier()
+        return comm.rank
+
+    return fn
+
+
+class TestCrashFaults:
+    def test_crash_raises_rank_failure_at_step(self):
+        plan = FaultPlan().crash(rank=1, step=3)
+        with pytest.raises(RankFailure) as exc:
+            run_ranks(2, _stepper(5), fault_plan=plan, timeout=30.0)
+        assert exc.value.rank == 1
+        assert exc.value.step == 3
+
+    def test_crash_only_hits_scripted_step(self):
+        plan = FaultPlan().crash(rank=0, step=7)
+        results = run_ranks(2, _stepper(5), fault_plan=plan, timeout=30.0)
+        assert results == [0, 1]
+        assert plan.pending == 1  # never reached step 7
+
+    def test_fires_once_then_spent(self):
+        plan = FaultPlan().crash(rank=0, step=2)
+        with pytest.raises(RankFailure):
+            run_ranks(2, _stepper(3), fault_plan=plan, timeout=30.0)
+        assert plan.pending == 0
+        assert [f.kind for f in plan.fired] == ["crash"]
+        # re-running with the spent plan succeeds: a supervisor retry
+        # replays the schedule without re-hitting the fault
+        results = run_ranks(2, _stepper(3), fault_plan=plan, timeout=30.0)
+        assert results == [0, 1]
+
+    def test_reset_rearms(self):
+        plan = FaultPlan().crash(rank=0, step=1)
+        with pytest.raises(RankFailure):
+            run_ranks(1, _stepper(1), fault_plan=plan, timeout=30.0)
+        plan.reset()
+        assert plan.pending == 1
+        with pytest.raises(RankFailure):
+            run_ranks(1, _stepper(1), fault_plan=plan, timeout=30.0)
+
+    def test_deterministic_under_scheduler(self):
+        outcomes = []
+        for _ in range(2):
+            plan = FaultPlan(seed=3).crash(rank=2, step=2)
+            try:
+                run_ranks(3, _stepper(4), fault_plan=plan,
+                          scheduler=DeterministicScheduler(11), timeout=30.0)
+            except RankFailure as exc:
+                outcomes.append((exc.rank, exc.step,
+                                 [f.kind for f in plan.fired]))
+        assert outcomes[0] == outcomes[1] == (2, 2, ["crash"])
+
+
+class TestMessageFaults:
+    def test_drop_discards_matched_message(self):
+        plan = FaultPlan().drop(src=0, dst=1, tag=5)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), dest=1, tag=5)
+                comm.send(np.array([2.0]), dest=1, tag=5)
+            else:
+                return float(comm.recv(source=0, tag=5)[0])
+
+        results = run_ranks(2, fn, fault_plan=plan, timeout=30.0)
+        assert results[1] == 2.0  # first send vanished
+        assert [f.kind for f in plan.fired] == ["drop"]
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan().duplicate(src=0, dst=1)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(7.5, dest=1, tag=1)
+            else:
+                return (comm.recv(source=0, tag=1),
+                        comm.recv(source=0, tag=1))
+
+        results = run_ranks(2, fn, fault_plan=plan, timeout=30.0)
+        assert results[1] == (7.5, 7.5)
+
+    def test_delay_reorders_messages(self):
+        plan = FaultPlan().delay(src=0, dst=1, count=0)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=2)
+                comm.send("second", dest=1, tag=2)
+            else:
+                return (comm.recv(source=0, tag=2),
+                        comm.recv(source=0, tag=2))
+
+        results = run_ranks(2, fn, fault_plan=plan, timeout=30.0)
+        assert results[1] == ("second", "first")
+
+    def test_count_selects_nth_match(self):
+        plan = FaultPlan().drop(src=0, dst=1, tag=3, count=1)
+
+        def fn(comm):
+            if comm.rank == 0:
+                for v in (10, 20, 30):
+                    comm.send(v, dest=1, tag=3)
+            else:
+                return (comm.recv(source=0, tag=3),
+                        comm.recv(source=0, tag=3))
+
+        results = run_ranks(2, fn, fault_plan=plan, timeout=30.0)
+        assert results[1] == (10, 30)  # the second send was dropped
+
+    def test_corrupt_nan_pokes_exactly_one_value(self):
+        plan = FaultPlan(seed=5).corrupt(src=0, dst=1, mode="nan")
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(16), dest=1, tag=0)
+            else:
+                return comm.recv(source=0, tag=0)
+
+        results = run_ranks(2, fn, fault_plan=plan, timeout=30.0)
+        assert int(np.isnan(results[1]).sum()) == 1
+
+    def test_corrupt_does_not_touch_sender_copy(self):
+        plan = FaultPlan(seed=5).corrupt(src=0, dst=1, mode="nan")
+
+        def fn(comm):
+            if comm.rank == 0:
+                payload = np.zeros(8)
+                comm.send(payload, dest=1, tag=0)
+                return float(np.isnan(payload).sum())
+            return comm.recv(source=0, tag=0)
+
+        results = run_ranks(2, fn, fault_plan=plan, timeout=30.0)
+        assert results[0] == 0.0  # copy-on-send isolates the sender
+
+    def test_corrupt_bitflip_is_seed_deterministic(self):
+        def once():
+            plan = FaultPlan(seed=42).corrupt(src=0, dst=1, mode="bitflip")
+
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.send(np.full(32, 1.5), dest=1, tag=0)
+                else:
+                    return comm.recv(source=0, tag=0)
+
+            results = run_ranks(2, fn, fault_plan=plan,
+                                scheduler=DeterministicScheduler(0),
+                                timeout=30.0)
+            return results[1]
+
+        a, b = once(), once()
+        assert np.array_equal(a, b, equal_nan=True)
+        assert (a != np.full(32, 1.5)).sum() == 1  # one element flipped
+
+    def test_tuple_payloads_corrupt_float_parts_only(self):
+        plan = FaultPlan(seed=1).corrupt(src=0, dst=1, mode="nan")
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send((np.arange(4, dtype=np.int64), np.zeros(6)),
+                          dest=1, tag=0)
+            else:
+                return comm.recv(source=0, tag=0)
+
+        idx, values = run_ranks(2, fn, fault_plan=plan, timeout=30.0)[1]
+        assert np.array_equal(idx, np.arange(4))  # ints untouched
+        assert int(np.isnan(values).sum()) == 1
+
+
+class TestPlanValidation:
+    def test_rejects_unknown_corrupt_mode(self):
+        with pytest.raises(ValueError, match="corrupt mode"):
+            FaultPlan().corrupt(mode="gamma-ray")
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultPlan().drop(count=-1)
+
+    def test_rejects_negative_crash_step(self):
+        with pytest.raises(ValueError, match="step"):
+            FaultPlan().crash(rank=0, step=-1)
+
+    def test_fluent_chaining(self):
+        plan = (FaultPlan(seed=9).crash(rank=0, step=1)
+                .drop(src=1).duplicate(dst=0).delay(tag=7)
+                .corrupt(mode="bitflip"))
+        assert plan.pending == 5
