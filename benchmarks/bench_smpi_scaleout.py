@@ -1,0 +1,177 @@
+"""Multi-process scale-out: the process transport vs the thread one.
+
+The threaded transport is the deterministic test substrate, but every
+rank shares one GIL — it cannot show scale-out. The process transport
+forks real OS processes (shared-memory payloads, pickled control
+messages), so on a multi-core host the same airfoil run should
+approach linear speedup while staying *bitwise identical* to the
+threaded run (asserted here at every rank count).
+
+Measured layers:
+
+* **airfoil scale-out** — wall time of a barrier-bracketed iteration
+  section at 1/2/4 ranks on both transports. On a host with >= 4
+  cores the 4-rank process run must beat its own 1-rank run by
+  > 1.8x (the acceptance bar); on fewer cores the assertion is
+  skipped and the numbers are reported for the record — simulated
+  ranks cannot scale past physical cores.
+* **depth-aware partial halos** — an interpolation-style loop
+  (indirect read, direct write: the depth-1 case) run full vs
+  partial, counter-verified from the wire ledger: partial moves
+  fewer bytes, results stay bitwise-equal.
+
+Writes ``benchmarks/out/BENCH_smpi_scaleout.json`` (telemetry bench
+schema).
+"""
+
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro import op2
+from repro.apps import (AirfoilApp, airfoil_owners, airfoil_problem,
+                        make_airfoil_mesh)
+from repro.op2.distribute import (GlobalProblem, build_local_problem,
+                                  gather_dat, plan_distribution)
+from repro.smpi import Traffic, run_ranks
+from repro.telemetry import write_bench_summary
+from repro.util.tables import format_table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+CORES = len(os.sched_getaffinity(0))
+RANK_COUNTS = (1, 2, 4)
+#: acceptance bar for 4-rank process-transport speedup on >=4 cores
+SPEEDUP_BAR = 1.8
+#: per-run watchdog: a hung transport fails the bench, not the CI job
+TIMEOUT = 120.0
+
+
+def run_airfoil(nranks, transport, niter=12, ni=48, nj=12):
+    mesh = make_airfoil_mesh(ni=ni, nj=nj)
+    gp = airfoil_problem(mesh, mach=0.35)
+    layouts = plan_distribution(gp, nranks, airfoil_owners(mesh, nranks))
+    traffic = Traffic()
+
+    def rank_fn(comm):
+        op2.set_config(partial_halos=True, grouped_halos=True)
+        local = build_local_problem(gp, layouts[comm.rank], comm)
+        app = AirfoilApp.from_local(mesh, local, mach=0.35)
+        app.iterate(2)  # warm wrapper/plan caches
+        comm.barrier()
+        t0 = time.perf_counter()
+        app.iterate(niter)
+        comm.barrier()
+        wall = time.perf_counter() - t0
+        q = gather_dat(comm, app.q, layouts[comm.rank], mesh.ncell)
+        return wall, q
+
+    results = run_ranks(nranks, rank_fn, traffic=traffic,
+                        transport=transport, timeout=TIMEOUT)
+    return {"wall": max(r[0] for r in results), "q": results[0][1],
+            "fingerprint": traffic.structure_fingerprint()}
+
+
+def run_interp(nranks, partial, n=4000, steps=6):
+    """Depth-1 workload: edges read nodes indirectly, write directly."""
+    table = np.array([(i, (i + 1) % n) for i in range(n)], dtype=np.int64)
+    gp = GlobalProblem()
+    gp.add_set("nodes", n)
+    gp.add_set("edges", len(table))
+    gp.add_map("pedge", "edges", "nodes", table)
+    rng = np.random.default_rng(3)
+    gp.add_dat("qn", "nodes", rng.normal(size=(n, 4)))
+    gp.add_dat("qe", "edges", np.zeros((len(table), 4)))
+    owners = np.arange(n) * nranks // n
+    layouts = plan_distribution(
+        gp, nranks, {"nodes": owners, "edges": owners[table[:, 0]]})
+
+    def interp(a, b, e):
+        e[0] = 0.5 * (a[0] + b[0])
+        e[1] = 0.5 * (a[1] + b[1])
+        e[2] = 0.5 * (a[2] + b[2])
+        e[3] = 0.5 * (a[3] + b[3])
+
+    kern = op2.Kernel(interp)
+
+    def rank_fn(comm):
+        op2.set_config(partial_halos=partial, grouped_halos=False)
+        local = build_local_problem(gp, layouts[comm.rank], comm)
+        pedge = local.maps["pedge"]
+        qn, qe = local.dats["qn"], local.dats["qe"]
+        for _ in range(steps):
+            op2.par_loop(kern, local.sets["edges"],
+                         qn.arg(op2.READ, pedge, 0),
+                         qn.arg(op2.READ, pedge, 1),
+                         qe.arg(op2.WRITE))
+            qn.data[:] += 0.125  # stale halos: next step re-exchanges
+        return gather_dat(comm, qe, layouts[comm.rank], gp.sets["edges"])
+
+    traffic = Traffic()
+    results = run_ranks(nranks, rank_fn, traffic=traffic,
+                        transport="thread", timeout=TIMEOUT)
+    nbytes = sum(v["nbytes"] for k, v in traffic.by_phase().items()
+                 if k.startswith("halo"))
+    return {"q": results[0], "bytes": nbytes}
+
+
+def test_smpi_scaleout(report):
+    walls = {}
+    for transport in ("thread", "process"):
+        for nranks in RANK_COUNTS:
+            walls[(transport, nranks)] = run_airfoil(nranks, transport)
+
+    # bitwise equivalence at every rank count, and identical canonical
+    # traffic structure — the conformance claim at application scale
+    for nranks in RANK_COUNTS:
+        t, p = walls[("thread", nranks)], walls[("process", nranks)]
+        assert np.array_equal(t["q"], p["q"]), f"nranks={nranks}"
+        assert t["fingerprint"] == p["fingerprint"], f"nranks={nranks}"
+
+    speedup = (walls[("process", 1)]["wall"]
+               / walls[("process", 4)]["wall"])
+
+    interp_full = run_interp(4, partial=False)
+    interp_part = run_interp(4, partial=True)
+    assert np.array_equal(interp_full["q"], interp_part["q"])
+    assert interp_part["bytes"] < interp_full["bytes"]
+    saved_pct = 100.0 * (1 - interp_part["bytes"] / interp_full["bytes"])
+
+    rows = [[str(nranks),
+             f"{walls[('thread', nranks)]['wall'] * 1e3:.1f}",
+             f"{walls[('process', nranks)]['wall'] * 1e3:.1f}",
+             "yes"]
+            for nranks in RANK_COUNTS]
+    report(f"smpi scale-out ({CORES} core(s) visible)\n" + format_table(
+        ["ranks", "thread wall [ms]", "process wall [ms]", "bitwise eq"],
+        rows) +
+        f"\nprocess 1->4 rank speedup: {speedup:.2f}x "
+        f"(bar {SPEEDUP_BAR}x applies on >= 4 cores)\n"
+        f"partial-halo bytes (interp, 4 ranks): "
+        f"{interp_full['bytes']} -> {interp_part['bytes']} "
+        f"({saved_pct:.0f}% saved)")
+
+    if CORES >= 4:
+        assert speedup > SPEEDUP_BAR, (
+            f"process transport reached only {speedup:.2f}x on "
+            f"{CORES} cores")
+
+    write_bench_summary(OUT_DIR, "smpi_scaleout", {
+        **{f"wall_{tr}_{nr}": {"value": walls[(tr, nr)]["wall"], "unit": "s"}
+           for tr in ("thread", "process") for nr in RANK_COUNTS},
+        "speedup_process_1_to_4": {"value": speedup, "unit": "x"},
+        "cores": {"value": CORES, "unit": "cores"},
+        "interp_halo_bytes_full": {"value": interp_full["bytes"],
+                                   "unit": "B"},
+        "interp_halo_bytes_partial": {"value": interp_part["bytes"],
+                                      "unit": "B"},
+        "interp_bytes_saved": {"value": saved_pct, "unit": "%"},
+    }, meta={
+        "cores": CORES, "rank_counts": ",".join(map(str, RANK_COUNTS)),
+        "speedup_bar": f">{SPEEDUP_BAR}x on >=4 cores (" + (
+            "asserted" if CORES >= 4
+            else f"skipped: {CORES} core(s)") + ")",
+        "equivalence": "bitwise + structure_fingerprint (asserted)",
+    })

@@ -53,7 +53,8 @@ def _cmd_compressor(args: argparse.Namespace) -> int:
         numerics=Numerics(inner_iters=args.inner),
         inlet=FlowState(ux=0.5), p_out=args.p_out,
         checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=args.checkpoint_dir)
+        checkpoint_dir=args.checkpoint_dir,
+        transport=args.transport)
     if args.resume is not None:
         target = "latest" if args.resume == "latest" else args.resume
         result = resume_coupled(cfg, args.steps, resume_from=target)
@@ -514,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restart from a checkpoint: a step-NNNNNN "
                         "directory, or the newest intact set under "
                         "--checkpoint-dir when given without a value")
+    p.add_argument("--transport", choices=["thread", "process"],
+                   default=None,
+                   help="smpi transport: thread (deterministic, default) "
+                        "or process (forked ranks, true multi-core); "
+                        "default honours $REPRO_SMPI_TRANSPORT")
     p.set_defaults(fn=_cmd_compressor)
 
     p = sub.add_parser("resilience",

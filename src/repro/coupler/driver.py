@@ -95,6 +95,11 @@ class CoupledRunConfig:
     #: communicator default): a dead or wedged client then surfaces as
     #: a SimMPIError on the CU instead of an indefinite hang
     cu_request_timeout: float | None = None
+    #: smpi transport: "thread" (deterministic test mode), "process"
+    #: (forked ranks, true multi-core), or None = the
+    #: ``REPRO_SMPI_TRANSPORT`` environment default. Tracing,
+    #: deterministic schedules and fault plans are thread-only.
+    transport: str | None = None
 
     def ranks_of(self) -> list[int]:
         n = self.rig.n_rows
@@ -416,6 +421,35 @@ class CoupledDriver:
                 f"beyond the requested {nsteps} steps")
         return manifest
 
+    @staticmethod
+    def _validate_transport(cfg: CoupledRunConfig) -> str:
+        """Resolve the transport; reject thread-only feature requests.
+
+        Tracing binds shared recorder objects across rank threads,
+        and deterministic schedules / fault plans hook the threaded
+        communicator — none of which can cross a fork. Failing here,
+        before any rank starts, beats a confusing mid-run error.
+        """
+        from repro.smpi.errors import TransportError
+        from repro.smpi.transport import resolve_transport
+
+        resolved = resolve_transport(cfg.transport)
+        if resolved == "process":
+            unsupported = [
+                name for name, on in (
+                    ("trace", cfg.trace),
+                    ("schedule_seed", cfg.schedule_seed is not None),
+                    ("fault_plan", cfg.fault_plan is not None))
+                if on
+            ]
+            if unsupported:
+                raise TransportError(
+                    f"process transport does not support "
+                    f"{', '.join(unsupported)}; these are threaded-"
+                    f"transport features — drop them or set "
+                    f"transport='thread'")
+        return resolved
+
     def run(self, nsteps: int, resume_from=None) -> CoupledResult:
         """Run ``nsteps`` outer time steps of the coupled machine.
 
@@ -428,6 +462,7 @@ class CoupledDriver:
         if nsteps < 0:
             raise ValueError("nsteps must be >= 0")
         cfg = self.cfg
+        self._validate_transport(cfg)
         resume = self._resolve_resume(resume_from, nsteps)
         ckpt = None
         if cfg.checkpoint_every > 0:
@@ -452,7 +487,8 @@ class CoupledDriver:
             scheduler = DeterministicScheduler(cfg.schedule_seed)
         results = run_ranks(self.n_world, _rank_main, args=(setup,),
                             timeout=cfg.timeout, traffic=traffic,
-                            scheduler=scheduler, fault_plan=cfg.fault_plan)
+                            scheduler=scheduler, fault_plan=cfg.fault_plan,
+                            transport=cfg.transport)
         rows = [r for r in results if r["role"] == "hs" and r["reporter"]]
         cus = [r for r in results if r["role"] == "cu"]
         rows.sort(key=lambda r: r["row"])

@@ -49,7 +49,8 @@ from repro.op2.access import Access, READING, WRITING
 from repro.op2.backends import resolve_backend
 from repro.op2.config import current_config
 from repro.op2.halo import (exchange_halos_multi_begin,
-                            exchange_halos_multi_end)
+                            exchange_halos_multi_end, marker_covers,
+                            normalize_scopes, resolve_eager_scope)
 from repro.telemetry.recorder import active_recorder, span as _tspan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -123,25 +124,16 @@ class _Exchange:
 
 
 def _read_scopes(pending: "_Pending", cfg) -> dict[int, tuple]:
-    """Per-dat halo scopes this loop reads — mirrors eager `_refresh_halos`."""
-    loop = pending.loop
-    extent = pending.extent
-    needs: dict[int, tuple] = {}
-    for arg in loop.args:
-        if not arg.is_dat or arg.access not in READING:
-            continue
-        dat = arg.data
-        if dat.set.halo is None:
-            continue
-        if arg.is_indirect:
-            scope = arg.map.name if cfg.partial_halos else "full"
-        else:
-            if extent <= loop.iterset.size:
-                continue
-            scope = "exec" if cfg.partial_halos else "full"
-        entry = needs.setdefault(id(dat), (dat, set()))
-        entry[1].add(scope)
-    return needs
+    """Per-dat halo scopes this loop reads — the exact eager rule.
+
+    Delegates to :func:`~repro.op2.parloop.loop_read_scopes` so the
+    chain analyzer and eager ``_refresh_halos`` can never drift apart
+    (the bitwise-equivalence guarantee depends on them agreeing on
+    scope depth).
+    """
+    from repro.op2.parloop import loop_read_scopes
+
+    return loop_read_scopes(pending.loop, cfg)
 
 
 def _written_dats(loop: "ParLoop"):
@@ -162,14 +154,7 @@ class _SimFreshness:
 
     def is_fresh(self, dat, scope: str) -> bool:
         self.seed(dat)
-        ff = self._state[id(dat)]
-        if ff is None:
-            return False
-        if ff == "full":
-            return True
-        if isinstance(ff, frozenset):
-            return scope in ff or "full" in ff
-        return scope == ff
+        return marker_covers(self._state[id(dat)], scope)
 
     def mark_fresh(self, dat, marker) -> None:
         self._state[id(dat)] = marker
@@ -188,7 +173,7 @@ def _eager_exchange_count(pending: list[_Pending], scopes_list: list, cfg
     for p, needs in zip(pending, scopes_list):
         groups: dict[tuple[int, str], tuple] = {}
         for dat, scopes in needs.values():
-            scope = next(iter(scopes)) if len(scopes) == 1 else "full"
+            scope = resolve_eager_scope(scopes)
             if sim.is_fresh(dat, scope):
                 continue
             key = (id(dat.set), scope)
@@ -250,9 +235,7 @@ def _analyze(pending: list[_Pending], scopes_list: list, cfg
             union: set = set()
             for _pos, scopes in evs:
                 union |= scopes
-            scopes = (frozenset({"full"}) if "full" in union
-                      else frozenset(union))
-            required.append(_Exchange(dat=dat, scopes=scopes,
+            required.append(_Exchange(dat=dat, scopes=normalize_scopes(union),
                                       ready=start, at=unmet[0][0]))
 
     # batch into rounds: run at the earliest unmet position, absorbing

@@ -117,18 +117,17 @@ class Dat:
         """Was the halo refreshed recently enough for a read via ``scope``?
 
         ``scope`` is ``"full"`` (direct read that touches all halo
-        entries) or a named partial scope. A full refresh satisfies any
-        scope; a partial refresh satisfies only reads through the same
-        scope(s) — ``fresh_for`` is a frozenset after a chained
+        entries) or a named partial scope. Subsumption follows
+        :func:`~repro.op2.halo.scope_covers`: a full refresh satisfies
+        any scope and a map's depth-2 refresh satisfies its depth-1
+        scope — ``fresh_for`` is a frozenset after a chained
         multi-scope exchange.
         """
+        from repro.op2.halo import marker_covers
+
         if not self.halo_fresh:
             return False
-        if self.fresh_for == "full":
-            return True
-        if isinstance(self.fresh_for, frozenset):
-            return scope in self.fresh_for or "full" in self.fresh_for
-        return scope == self.fresh_for
+        return marker_covers(self.fresh_for, scope)
 
     # -- arg construction -------------------------------------------------
     def arg(self, access: Access, map: Map | None = None, idx=None) -> "Arg":

@@ -219,18 +219,34 @@ def plan_distribution(problem: GlobalProblem, nranks: int,
                 "exec": (layout.exec_halo,
                          np.arange(n_owned, n_owned + len(layout.exec_halo))),
             }
-            # per-map partial scopes: halo entries reachable via that map
+            # per-map partial scopes: halo entries reachable via that map.
+            # Two depths per map (the paper's PH optimization refined):
+            #   "m"      — reachable from owned *and* exec rows (depth 2,
+            #              what redundant exec-halo execution reads);
+            #   "m@own"  — reachable from owned rows only (depth 1,
+            #              sufficient for loops without indirect writes,
+            #              which never execute the exec halo).
             for mname, (from_s, to_s, _values) in problem.maps.items():
                 if to_s != sname:
                     continue
                 table = layouts[p].map_tables.get(mname)
                 if table is None or table.size == 0:
                     scopes[mname] = (halo_gids[:0], halo_local[:0])
+                    scopes[f"{mname}@own"] = (halo_gids[:0], halo_local[:0])
                     continue
                 referenced = np.unique(table)
                 ref_halo = referenced[referenced >= n_owned]
                 gids = layout.global_ids[ref_halo]
                 scopes[mname] = (gids, ref_halo)
+                n_own_rows = len(owned[from_s][p])
+                own_table = table[:n_own_rows]
+                if own_table.size == 0:
+                    scopes[f"{mname}@own"] = (halo_gids[:0], halo_local[:0])
+                else:
+                    own_ref = np.unique(own_table)
+                    own_halo = own_ref[own_ref >= n_owned]
+                    scopes[f"{mname}@own"] = (layout.global_ids[own_halo],
+                                              own_halo)
 
             for scope_name, (gids, locals_) in scopes.items():
                 plan = ExchangePlan(name=scope_name)

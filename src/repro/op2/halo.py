@@ -11,9 +11,15 @@ paper quantifies in Table III:
 * **grouped halo messages (GH)** — pack all the dats a loop needs into
   one message per neighbour instead of one message per dat.
 
-Exchange plans are *named*: ``"full"``, ``"exec"``, and one per map.
-:class:`~repro.op2.dat.Dat` freshness records which plan last refreshed
-it, so a partial refresh only satisfies reads through the same map.
+Exchange plans are *named*: ``"full"``, ``"exec"``, and two per map —
+``"m"`` (halo entries reachable from owned *and* exec rows of the map,
+what redundant exec-halo execution reads) and ``"m@own"`` (reachable
+from owned rows only, sufficient for loops without indirect writes,
+which never execute the exec halo). :class:`~repro.op2.dat.Dat`
+freshness records which plan last refreshed it; :func:`scope_covers`
+defines the subsumption order — ``"full"`` covers everything and
+``"m"`` covers ``"m@own"`` — so a deeper refresh satisfies shallower
+reads without re-exchanging.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.telemetry.recorder import span as _tspan
+from repro.telemetry.recorder import active_recorder, span as _tspan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.op2.dat import Dat
@@ -32,6 +38,65 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: base tag for halo messages; per-dat offset keeps matching unambiguous
 _HALO_TAG = 7000
+
+#: suffix distinguishing a map's depth-1 scope from its depth-2 scope
+_OWN_SUFFIX = "@own"
+
+
+def scope_covers(have: str, need: str) -> bool:
+    """True when a refresh for scope ``have`` satisfies a ``need`` read.
+
+    The subsumption order of named scopes: ``"full"`` covers every
+    scope, and a map's depth-2 scope ``"m"`` covers its own depth-1
+    scope ``"m@own"`` (owned-row references are a subset of
+    owned+exec-row references). Everything else must match exactly.
+    """
+    if have == need or have == "full":
+        return True
+    return need == have + _OWN_SUFFIX
+
+
+def marker_covers(marker: object, need: str) -> bool:
+    """Does a dat freshness marker satisfy a read needing ``need``?
+
+    ``marker`` is ``None`` (stale), a scope name, or a frozenset of
+    scope names (after a chained multi-scope exchange).
+    """
+    if marker is None:
+        return False
+    if isinstance(marker, frozenset):
+        return any(marker_covers(m, need) for m in marker)
+    return scope_covers(marker, need)  # type: ignore[arg-type]
+
+
+def normalize_scopes(scopes) -> frozenset:
+    """Drop scopes subsumed by another member of the set.
+
+    ``{"m", "m@own"}`` collapses to ``{"m"}`` and any set containing
+    ``"full"`` collapses to ``{"full"}`` — fewer scopes means smaller
+    union plans and better plan-cache reuse.
+    """
+    scopes = frozenset(scopes)
+    if "full" in scopes:
+        return frozenset({"full"})
+    return frozenset(
+        s for s in scopes
+        if not any(o != s and scope_covers(o, s) for o in scopes)
+    )
+
+
+def resolve_eager_scope(scopes) -> str:
+    """The single plan scope eager execution uses for a scope set.
+
+    One distinct scope (after normalization) is used as-is; genuinely
+    mixed needs fall back to the full exchange — the eager path sends
+    one message batch per (set, scope) group and cannot union plans the
+    way the chain runtime does.
+    """
+    norm = normalize_scopes(scopes)
+    if len(norm) == 1:
+        return next(iter(norm))
+    return "full"
 
 
 @dataclass
@@ -82,7 +147,7 @@ class SetHalo:
         so first-occurrence dedup keeps sender and receiver aligned —
         the union plan is as collective-safe as its constituents.
         """
-        scopes = frozenset(scopes)
+        scopes = normalize_scopes(scopes)
         if "full" in scopes or any(s not in self.plans for s in scopes):
             return self.plans["full"]
         if len(scopes) == 1:
@@ -112,6 +177,44 @@ def _dedup_concat(parts: list) -> np.ndarray:
     cat = np.concatenate(parts)
     _, first = np.unique(cat, return_index=True)
     return cat[np.sort(first)]
+
+
+def exchange_nbytes(plan: ExchangePlan, dats: Sequence["Dat"]) -> int:
+    """Exact payload bytes this rank sends executing ``plan`` for ``dats``.
+
+    The single source of truth for halo payload sizing: exchange paths
+    compute their telemetry from it and tests pin ledger bytes against
+    it, so partial exchanges cannot double-count. Matches what the
+    traffic ledger records for the equivalent sends (entries × dim ×
+    itemsize per dat per neighbour; same-dtype dats assumed for grouped
+    packing, which is how every solver in this repo packs).
+    """
+    per_entry = sum(d.dim * d.dtype.itemsize for d in dats)
+    return plan.send_entries * per_entry
+
+
+def exchange_messages(plan: ExchangePlan, ndats: int, grouped: bool) -> int:
+    """Messages this rank sends executing ``plan`` (eager protocol)."""
+    return len(plan.send) * (1 if grouped else ndats)
+
+
+def _account_exchange(nbytes: int, messages: int,
+                      full_nbytes: int, full_messages: int) -> None:
+    """Emit the op2-level halo traffic counters for one exchange.
+
+    ``*_saved`` counters measure against the full-plan baseline for the
+    same dats — the counter-verified claim that partial/depth-aware
+    exchanges move fewer bytes. Counters are additive across exchanges;
+    smpi-level ``smpi.nbytes`` counters are emitted by the communicator
+    itself, so this layer never re-records wire bytes.
+    """
+    rec = active_recorder()
+    if rec is None:
+        return
+    rec.counter("op2.halo.nbytes", nbytes)
+    rec.counter("op2.halo.messages", messages)
+    rec.counter("op2.halo.nbytes_saved", max(0, full_nbytes - nbytes))
+    rec.counter("op2.halo.messages_saved", max(0, full_messages - messages))
 
 
 def exchange_halos(sset: "Set", dats: Sequence["Dat"], scope: str = "full",
@@ -162,6 +265,13 @@ def exchange_halos(sset: "Set", dats: Sequence["Dat"], scope: str = "full",
                 for nbr, ridx in plan.recv.items():
                     d.data_with_halos[ridx] = comm.recv(source=nbr,
                                                         tag=_HALO_TAG + i)
+    full = halo.plans["full"]
+    _account_exchange(
+        exchange_nbytes(plan, dats),
+        exchange_messages(plan, len(dats), grouped),
+        exchange_nbytes(full, dats),
+        exchange_messages(full, len(dats), grouped),
+    )
 
     comm.set_phase("compute")
     for d in dats:
@@ -221,6 +331,13 @@ def exchange_halos_multi_begin(
             if parts:
                 comm.send(np.concatenate(parts), dest=nbr, tag=tag)
                 sent += 1
+    full = halo.plans["full"]
+    _account_exchange(
+        sum(exchange_nbytes(p, [d]) for d, p, _ in resolved),
+        sent,
+        exchange_nbytes(full, [d for d, _, _ in resolved]),
+        exchange_messages(full, len(resolved), grouped=True),
+    )
     comm.set_phase("compute")
     return PendingExchange(sset=sset, resolved=resolved, tag=tag, sent=sent)
 

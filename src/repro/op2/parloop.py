@@ -33,6 +33,47 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.op2.backends.base import Backend
 
 
+def loop_read_scopes(loop: "ParLoop", cfg) -> dict[int, tuple]:
+    """Per-dat halo scopes ``loop`` reads: ``id(dat) -> (dat, {scopes})``.
+
+    The single scope-selection rule shared by eager execution and the
+    chain analyzer (which must mirror it exactly for elision to be
+    sound). Under ``Config.partial_halos`` an indirect read needs the
+    map's scope at the depth the execution extent requires: the full
+    per-map scope (owned+exec rows) when the loop executes redundantly
+    over the exec halo, only the ``@own`` depth-1 scope (owned rows)
+    otherwise. Direct reads need the exec region exactly when the loop
+    executes it.
+
+    Scope choices key off :attr:`ParLoop.has_indirect_writes` — a
+    property of the loop's argument list, identical on every rank —
+    never off this rank's execution extent: a rank whose exec halo
+    happens to be empty (``exec_size == size``) must still pick the
+    same scope names as its neighbours, or pairwise-matched exchange
+    plans desynchronize and the run deadlocks.
+    """
+    redundant = loop.has_indirect_writes  # uniform across ranks
+    needs: dict[int, tuple] = {}
+    for arg in loop.args:
+        if not arg.is_dat or arg.access not in READING:
+            continue
+        dat = arg.data
+        if dat.set.halo is None:
+            continue
+        if arg.is_indirect:
+            if not cfg.partial_halos:
+                scope = "full"
+            else:
+                scope = arg.map.name if redundant else f"{arg.map.name}@own"
+        else:
+            if not redundant:
+                continue  # owned-only direct reads touch no halo
+            scope = "exec" if cfg.partial_halos else "full"
+        entry = needs.setdefault(id(dat), (dat, set()))
+        entry[1].add(scope)
+    return needs
+
+
 class ParLoop:
     """A validated parallel loop over ``iterset``."""
 
@@ -226,7 +267,7 @@ class ParLoop:
         extent = (self.iterset.exec_size if self.has_indirect_writes
                   else self.iterset.size)
         t0 = time.perf_counter()
-        self._refresh_halos(extent, cfg)
+        self._refresh_halos(cfg)
         halo_seconds = time.perf_counter() - t0
 
         reductions = ReductionBuffers(self.args)
@@ -238,29 +279,17 @@ class ParLoop:
         reductions.finalize(comm)
         return halo_seconds
 
-    def _refresh_halos(self, extent: int, cfg) -> None:
+    def _refresh_halos(self, cfg) -> None:
         """Forward-exchange every stale dat the loop will read from halos."""
+        from repro.op2.halo import resolve_eager_scope
+
         # collect needed scopes per dat
-        needs: dict[int, tuple] = {}  # id(dat) -> (dat, set of scope keys)
-        for arg in self.args:
-            if not arg.is_dat or arg.access not in READING:
-                continue
-            dat = arg.data
-            if dat.set.halo is None:
-                continue
-            if arg.is_indirect:
-                scope = arg.map.name if cfg.partial_halos else "full"
-            else:
-                if extent <= self.iterset.size:
-                    continue  # owned-only direct reads touch no halo
-                scope = "exec" if cfg.partial_halos else "full"
-            entry = needs.setdefault(id(dat), (dat, set()))
-            entry[1].add(scope)
+        needs = loop_read_scopes(self, cfg)
 
         # group stale dats by (set, resolved scope) and exchange together
         groups: dict[tuple[int, str], tuple] = {}
         for dat, scopes in needs.values():
-            scope = scopes.pop() if len(scopes) == 1 else "full"
+            scope = resolve_eager_scope(scopes)
             if dat.is_fresh_for(scope):
                 continue
             key = (id(dat.set), scope)

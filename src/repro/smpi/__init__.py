@@ -25,10 +25,17 @@ from repro.smpi.comm import (
     waitall,
 )
 from repro.smpi.deadlock import DeadlockError, WaitEdge, WaitRegistry, format_cycle
-from repro.smpi.errors import RankFailure
+from repro.smpi.errors import RankFailure, TransportError
 from repro.smpi.faults import CrashFault, FaultPlan, FaultRecord, MessageFault
 from repro.smpi.schedule import DeterministicScheduler, ScheduleRun, sweep_schedules
 from repro.smpi.traffic import Traffic, TrafficRecord
+from repro.smpi.transport import (
+    TRANSPORTS,
+    ProcessComm,
+    default_transport,
+    resolve_transport,
+    run_ranks_process,
+)
 
 __all__ = [
     "ANY_SOURCE",
@@ -39,18 +46,24 @@ __all__ = [
     "FaultPlan",
     "FaultRecord",
     "MessageFault",
+    "ProcessComm",
     "RankFailure",
     "Request",
     "ScheduleRun",
     "SimAbort",
     "SimComm",
     "SimMPIError",
+    "TRANSPORTS",
     "Traffic",
     "TrafficRecord",
+    "TransportError",
     "WaitEdge",
     "WaitRegistry",
+    "default_transport",
     "format_cycle",
+    "resolve_transport",
     "run_ranks",
+    "run_ranks_process",
     "sweep_schedules",
     "waitall",
 ]

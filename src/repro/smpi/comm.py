@@ -604,21 +604,50 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
               timeout: float = DEFAULT_TIMEOUT,
               traffic: Traffic | None = None,
               scheduler: "DeterministicScheduler | None" = None,
-              fault_plan: "FaultPlan | None" = None) -> list[Any]:
-    """Run ``fn(comm, *args)`` on ``nranks`` cooperating threads.
+              fault_plan: "FaultPlan | None" = None,
+              transport: str | None = None) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``nranks`` cooperating ranks.
 
     Returns each rank's return value, ordered by rank. If any rank
     raises, the whole run is aborted (barriers broken, mailbox waits
-    poisoned) and the first failure is re-raised. Blocked send/recv or
-    barrier cycles are reported as
-    :class:`~repro.smpi.errors.DeadlockError` with the wait-for cycle
-    long before ``timeout``. Pass a
-    :class:`~repro.smpi.schedule.DeterministicScheduler` to serialize
-    the ranks under a seeded, replayable interleaving, and/or a
-    :class:`~repro.smpi.faults.FaultPlan` to inject crashes and
-    message faults deterministically (world ranks and every
-    sub-communicator share the plan).
+    poisoned) and the first failure is re-raised.
+
+    ``transport`` selects how ranks execute (default: the
+    ``REPRO_SMPI_TRANSPORT`` environment variable, else ``"thread"``):
+
+    * ``"thread"`` — ranks are threads of this interpreter. Blocked
+      send/recv or barrier cycles are reported as
+      :class:`~repro.smpi.errors.DeadlockError` with the wait-for
+      cycle long before ``timeout``. Pass a
+      :class:`~repro.smpi.schedule.DeterministicScheduler` to
+      serialize the ranks under a seeded, replayable interleaving,
+      and/or a :class:`~repro.smpi.faults.FaultPlan` to inject crashes
+      and message faults deterministically (world ranks and every
+      sub-communicator share the plan).
+    * ``"process"`` — ranks are forked OS processes with true
+      multi-core parallelism (see :mod:`repro.smpi.transport`).
+      Schedulers and fault plans are threaded-transport features;
+      requesting them here raises
+      :class:`~repro.smpi.errors.TransportError`.
     """
+    from repro.smpi.transport import resolve_transport, run_ranks_process
+
+    resolved = resolve_transport(transport)
+    if resolved == "process":
+        if scheduler is not None or fault_plan is not None:
+            from repro.smpi.errors import TransportError
+            unsupported = [
+                name for name, val in (("scheduler", scheduler),
+                                       ("fault_plan", fault_plan))
+                if val is not None
+            ]
+            raise TransportError(
+                f"process transport does not support "
+                f"{' or '.join(unsupported)}; deterministic scheduling and "
+                f"fault injection require transport='thread'"
+            )
+        return run_ranks_process(nranks, fn, args=args, timeout=timeout,
+                                 traffic=traffic)
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     traffic = traffic if traffic is not None else Traffic()

@@ -16,6 +16,15 @@ class SimAbort(RuntimeError):
     """Raised inside ranks when another rank has failed and the run aborts."""
 
 
+class TransportError(SimMPIError):
+    """A transport cannot honour the requested run configuration.
+
+    Raised e.g. when the process transport is asked to run with a
+    deterministic scheduler or a fault plan — features that only the
+    in-process threaded transport provides.
+    """
+
+
 class RankFailure(SimMPIError):
     """A rank was killed by an injected fault (or a real failure).
 
@@ -31,6 +40,11 @@ class RankFailure(SimMPIError):
         self.rank = rank
         self.step = step
 
+    def __reduce__(self):
+        # keep rank/step across pickling (process-transport failure
+        # propagation crosses an OS process boundary)
+        return (type(self), (self.args[0], self.rank, self.step))
+
 
 class DeadlockError(SimMPIError):
     """A wait-for cycle was detected among blocked ranks.
@@ -45,3 +59,6 @@ class DeadlockError(SimMPIError):
     def __init__(self, message: str, cycle=()) -> None:
         super().__init__(message)
         self.cycle = list(cycle)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], tuple(self.cycle)))

@@ -143,6 +143,23 @@ class Traffic:
         with self._lock:
             return list(self._log)
 
+    def merge_log(self, log: list[tuple[str, int, int, int]]) -> None:
+        """Append a per-rank message log recorded in another ledger.
+
+        The process transport records traffic in a per-rank ledger
+        inside each rank process and merges the logs back into the
+        caller's world ledger in ascending rank order, so the merged
+        log is the canonical sender-ordered schedule (see
+        :meth:`sender_ordered_log`) rather than a wall-clock
+        interleaving.
+        """
+        with self._lock:
+            for phase, src, dst, nbytes in log:
+                key = (phase, src, dst)
+                self._messages[key] += 1
+                self._nbytes[key] += nbytes
+                self._log.append((phase, src, dst, nbytes))
+
     def fingerprint(self) -> str:
         """SHA-256 over the ordered message log (hex digest).
 
@@ -151,6 +168,34 @@ class Traffic:
         """
         with self._lock:
             blob = repr(self._log).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def sender_ordered_log(self) -> list[tuple[str, int, int, int]]:
+        """The message log canonicalized by sending rank.
+
+        Per-sender message order is preserved (the MPI non-overtaking
+        guarantee makes it deterministic for a deterministic program),
+        but the interleaving *between* senders — which depends on OS
+        scheduling in the threaded transport and on genuine parallelism
+        in the process transport — is replaced by ascending sender
+        rank. Two transports running the same program therefore agree
+        on this log even when their wall-clock interleavings differ.
+        """
+        with self._lock:
+            log = list(self._log)
+        out: list[tuple[str, int, int, int]] = []
+        for src in sorted({rec[1] for rec in log}):
+            out.extend(rec for rec in log if rec[1] == src)
+        return out
+
+    def structure_fingerprint(self) -> str:
+        """SHA-256 over :meth:`sender_ordered_log` (hex digest).
+
+        The transport-independent counterpart of :meth:`fingerprint`:
+        equal iff every rank sent the byte-identical message sequence,
+        whatever the cross-rank interleaving was.
+        """
+        blob = repr(self.sender_ordered_log()).encode()
         return hashlib.sha256(blob).hexdigest()
 
     def reset(self) -> None:

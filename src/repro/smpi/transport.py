@@ -1,0 +1,688 @@
+"""Transport selection for simulated-MPI runs: threads or processes.
+
+The original :func:`repro.smpi.run_ranks` executes ranks as threads of
+one interpreter — fully deterministic, instrumentable (wait-for-graph
+deadlock detection, seeded schedulers, fault plans), but GIL-capped:
+no amount of ranks buys real multi-core speedup, so the fig7/fig8
+scaling reproductions measured protocol overhead, not parallelism.
+
+This module adds a **process transport**: each rank is an OS process
+(``fork``), point-to-point messages travel through one
+``multiprocessing.Queue`` per world rank, and numpy payloads at or
+above :data:`REPRO_SMPI_SHM_MIN` bytes (env-tunable, default 64 KiB)
+ride in ``multiprocessing.shared_memory`` segments instead of being
+pickled through the pipe — the classic large-``Dat``-halo fast path.
+Control messages (tags, communicator ids, small payloads) stay
+pickled.
+
+Semantics parity with the threaded transport:
+
+* value semantics on send (pickling or an explicit shm copy-in/out);
+* the MPI non-overtaking guarantee per (src, dst) channel (a single
+  FIFO queue per receiver);
+* collectives folded in ascending rank order, so floating-point
+  reductions are bitwise-identical across transports;
+* collective traffic is *not* recorded in the ledger (matching the
+  threaded transport's shared-slot collectives, which send nothing);
+* per-rank message logs are merged into the caller's
+  :class:`~repro.smpi.traffic.Traffic` in ascending rank order, so
+  ``Traffic.structure_fingerprint()`` is deterministic and comparable
+  across transports.
+
+Deliberate non-parity (documented, enforced):
+
+* no deterministic scheduler, no fault plan, no wait-for-graph
+  deadlock detector — requesting them with ``transport="process"``
+  raises :class:`~repro.smpi.errors.TransportError`; a genuinely hung
+  run is caught by the watchdog deadline only;
+* per-rank telemetry recorders are process-local and discarded — the
+  traffic ledger is the only cross-process observable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as _queue
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from multiprocessing import connection as _mpconn
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.smpi.errors import SimAbort, SimMPIError, TransportError
+from repro.smpi.traffic import Traffic, payload_nbytes
+
+#: Environment variable naming the default transport for
+#: :func:`repro.smpi.run_ranks` calls that do not pass one explicitly.
+TRANSPORT_ENV = "REPRO_SMPI_TRANSPORT"
+
+#: Environment variable overriding the shared-memory payload threshold
+#: (bytes). numpy payloads at least this large travel via
+#: ``multiprocessing.shared_memory`` instead of pickle-through-pipe.
+SHM_MIN_ENV = "REPRO_SMPI_SHM_MIN"
+
+_DEFAULT_SHM_MIN = 64 * 1024
+
+#: Transports :func:`resolve_transport` accepts.
+TRANSPORTS = ("thread", "process")
+
+#: Poll step (seconds) of blocking waits in the process transport.
+_WAIT_STEP = 0.05
+
+
+def default_transport() -> str:
+    """The transport used when ``run_ranks(transport=None)``.
+
+    Reads :data:`TRANSPORT_ENV` (so a CI job or CLI wrapper can flip a
+    whole test suite to the process transport without touching call
+    sites) and falls back to ``"thread"``.
+    """
+    return os.environ.get(TRANSPORT_ENV, "thread")
+
+
+def resolve_transport(name: str | None) -> str:
+    """Validate an explicit transport name or resolve the default."""
+    resolved = default_transport() if name is None else name
+    if resolved not in TRANSPORTS:
+        raise TransportError(
+            f"unknown smpi transport {resolved!r}; expected one of "
+            f"{TRANSPORTS} (explicit or via ${TRANSPORT_ENV})"
+        )
+    return resolved
+
+
+def shm_threshold() -> int:
+    """Current shared-memory payload threshold in bytes."""
+    try:
+        return int(os.environ.get(SHM_MIN_ENV, _DEFAULT_SHM_MIN))
+    except ValueError:
+        return _DEFAULT_SHM_MIN
+
+
+# ---------------------------------------------------------------------------
+# payload encoding: shared-memory hand-off for large numpy buffers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ShmRef:
+    """Wire descriptor for an ndarray parked in a shared-memory segment.
+
+    Ownership protocol: the **sender** creates the segment, copies the
+    array in, unregisters it from its own resource tracker and closes
+    its handle; the **receiver** (or the parent's post-run drain, for
+    messages nobody received) attaches, copies out and unlinks. Exactly
+    one unlink per segment, no tracker double-accounting.
+    """
+
+    name: str
+    shape: tuple
+    dtype: str
+    nbytes: int
+
+
+def _encode_payload(obj: Any) -> Any:
+    """Replace large simple-dtype ndarrays with shared-memory refs."""
+    if isinstance(obj, np.ndarray):
+        if (obj.nbytes >= shm_threshold() and obj.nbytes > 0
+                and not obj.dtype.hasobject):
+            arr = np.ascontiguousarray(obj)
+            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            try:
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                # the receiver unlinks; keep the creator's tracker out of
+                # it so nothing is double-freed at interpreter exit
+                resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+                return _ShmRef(shm.name, arr.shape, arr.dtype.str,
+                               int(arr.nbytes))
+            finally:
+                shm.close()
+        return obj
+    if isinstance(obj, tuple):
+        return tuple(_encode_payload(o) for o in obj)
+    if isinstance(obj, list):
+        return [_encode_payload(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _encode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def _decode_payload(obj: Any) -> Any:
+    """Materialize shared-memory refs back into owned ndarrays."""
+    if isinstance(obj, _ShmRef):
+        shm = shared_memory.SharedMemory(name=obj.name)
+        try:
+            src = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                             buffer=shm.buf)
+            return src.copy()
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already freed
+                pass
+    if isinstance(obj, tuple):
+        return tuple(_decode_payload(o) for o in obj)
+    if isinstance(obj, list):
+        return [_decode_payload(o) for o in obj]
+    if isinstance(obj, dict):
+        return {k: _decode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def _release_payload(obj: Any) -> None:
+    """Unlink shm segments of a message nobody will ever decode."""
+    if isinstance(obj, _ShmRef):
+        try:
+            shm = shared_memory.SharedMemory(name=obj.name)
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already freed
+            pass
+        return
+    if isinstance(obj, (tuple, list)):
+        for o in obj:
+            _release_payload(o)
+    elif isinstance(obj, dict):
+        for o in obj.values():
+            _release_payload(o)
+
+
+# ---------------------------------------------------------------------------
+# the process-backed communicator
+# ---------------------------------------------------------------------------
+
+class _ProcRuntime:
+    """Per-process plumbing shared by every communicator view.
+
+    One instance per rank process: the world-indexed queue array, the
+    run-wide abort event, the rank's private traffic ledger and the
+    per-communicator buffers of received-but-unmatched messages (all
+    communicators multiplex over the single per-rank queue, so a recv
+    on one communicator may pull in messages for another).
+
+    The queue/event objects only need ``put``/``get``/``get_nowait``
+    and ``is_set``, so tests can instantiate the runtime over plain
+    ``queue.Queue``/``threading.Event`` to exercise the matching logic
+    in-process.
+    """
+
+    def __init__(self, world_rank: int, world_size: int,
+                 queues: Sequence[Any], abort: Any, timeout: float,
+                 traffic: Traffic) -> None:
+        self.world_rank = world_rank
+        self.world_size = world_size
+        self.queues = list(queues)
+        self.abort = abort
+        self.timeout = timeout
+        self.traffic = traffic
+        #: comm_id -> [(kind, src_world, tag, payload)]
+        self.buffers: dict[str, list[tuple[str, int, int, Any]]] = \
+            defaultdict(list)
+
+    def pump(self, block: float = 0.0) -> bool:
+        """Move at most one wire message into its communicator buffer."""
+        q = self.queues[self.world_rank]
+        try:
+            item = q.get(timeout=block) if block > 0 else q.get_nowait()
+        except _queue.Empty:
+            return False
+        comm_id, kind, src_world, tag, enc = item
+        self.buffers[comm_id].append(
+            (kind, src_world, tag, _decode_payload(enc)))
+        return True
+
+    def post(self, dst_world: int, comm_id: str, kind: str, tag: int,
+             obj: Any) -> None:
+        self.queues[dst_world].put(
+            (comm_id, kind, self.world_rank, tag, _encode_payload(obj)))
+
+
+# sentinel source/tag shared with the threaded transport
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class ProcessComm:
+    """One rank's view of a communicator over the process transport.
+
+    API-compatible with :class:`repro.smpi.comm.SimComm`: the whole
+    op2/coupler stack runs unchanged on either. Collectives are built
+    from point-to-point messages tagged with a per-communicator
+    sequence counter — every member calls collectives in the same
+    program order, so the counters advance in lockstep and the tags
+    match without negotiation. Sub-communicators from :meth:`split`
+    are deterministic ``comm_id`` namespaces over the same per-rank
+    queues; no new OS resources are created after fork.
+    """
+
+    def __init__(self, runtime: _ProcRuntime, comm_id: str,
+                 ranks_world: Sequence[int], rank: int) -> None:
+        self._rt = runtime
+        self.comm_id = comm_id
+        self._ranks_world = list(ranks_world)
+        self._world_to_local = {w: r for r, w in enumerate(self._ranks_world)}
+        self.rank = rank
+        self._seq = 0
+        self._split_gen = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._ranks_world)
+
+    @property
+    def traffic(self) -> Traffic:
+        return self._rt.traffic
+
+    @property
+    def world_rank(self) -> int:
+        return self._ranks_world[self.rank]
+
+    def set_phase(self, phase: str) -> None:
+        self._rt.traffic.set_phase(self.world_rank, phase)
+
+    def notify_step(self, step: int) -> None:
+        """Fault plans are a threaded-transport feature; no-op here."""
+
+    # -- point to point ------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise SimMPIError(f"send dest {dest} out of range [0, {self.size})")
+        dst_world = self._ranks_world[dest]
+        self._rt.traffic.record(self.world_rank, dst_world,
+                                payload_nbytes(obj))
+        self._rt.post(dst_world, self.comm_id, "p2p", tag, obj)
+
+    def _recv_raw(self, kind: str, source_world: int, tag: int,
+                  timeout: float) -> tuple[int, int, Any]:
+        """Blocking matched receive; returns (src_world, tag, payload)."""
+        rt = self._rt
+        deadline = float("inf") if timeout is None else timeout
+        waited = 0.0
+        while True:
+            buf = rt.buffers[self.comm_id]
+            for i, (k, s, t, _p) in enumerate(buf):
+                if k != kind:
+                    continue
+                if source_world not in (ANY_SOURCE, s):
+                    continue
+                if tag not in (ANY_TAG, t):
+                    continue
+                _k, s, t, p = buf.pop(i)
+                return s, t, p
+            if rt.abort.is_set():
+                raise SimAbort("run aborted by another rank")
+            if waited >= deadline:
+                raise SimMPIError(
+                    f"recv(source={source_world}, tag={tag}) timed out after "
+                    f"{deadline:.1f}s — deadlock? (process transport has no "
+                    f"wait-for-graph detector)"
+                )
+            step = min(_WAIT_STEP, deadline - waited)
+            if not rt.pump(block=step):
+                waited += step
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: float | None = None) -> Any:
+        timeout = self._rt.timeout if timeout is None else timeout
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._ranks_world[source])
+        _s, _t, payload = self._recv_raw("p2p", src_world, tag, timeout)
+        return payload
+
+    def recv_status(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                    timeout: float | None = None) -> tuple[Any, int, int]:
+        timeout = self._rt.timeout if timeout is None else timeout
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._ranks_world[source])
+        s, t, payload = self._recv_raw("p2p", src_world, tag, timeout)
+        return payload, self._world_to_local[s], t
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        self.send(obj, dest, tag)
+        from repro.smpi.comm import Request
+        return Request(_done=True)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "Request":
+        from repro.smpi.comm import Request
+        return Request(_resolve=lambda: self.recv(source, tag))
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        while self._rt.pump():
+            pass
+        src_world = (ANY_SOURCE if source == ANY_SOURCE
+                     else self._ranks_world[source])
+        for k, s, t, _p in self._rt.buffers[self.comm_id]:
+            if k != "p2p":
+                continue
+            if src_world in (ANY_SOURCE, s) and tag in (ANY_TAG, t):
+                return True
+        return False
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG) -> Any:
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives ---------------------------------------------------
+    # Built from p2p messages with kind="coll" so user tags can never
+    # collide. Collective wire traffic is NOT recorded in the ledger,
+    # matching the threaded transport's shared-slot collectives.
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _csend(self, obj: Any, dest: int, ctag: int) -> None:
+        self._rt.post(self._ranks_world[dest], self.comm_id, "coll",
+                      ctag, obj)
+
+    def _crecv(self, source: int, ctag: int) -> Any:
+        _s, _t, payload = self._recv_raw(
+            "coll", self._ranks_world[source], ctag, self._rt.timeout)
+        return payload
+
+    def _gather0(self, obj: Any, seq: int) -> list[Any] | None:
+        """Fan-in to rank 0, receives folded in ascending rank order."""
+        if self.rank == 0:
+            from repro.smpi.comm import _copy_payload
+            slots = [_copy_payload(obj)]
+            slots.extend(self._crecv(r, seq) for r in range(1, self.size))
+            return slots
+        self._csend(obj, 0, seq)
+        return None
+
+    def _bcast0(self, value: Any, seq: int) -> Any:
+        if self.rank == 0:
+            from repro.smpi.comm import _copy_payload
+            for r in range(1, self.size):
+                self._csend(value, r, seq)
+            return _copy_payload(value)
+        return self._crecv(0, seq)
+
+    def barrier(self) -> None:
+        seq = self._next_seq()
+        self._gather0(None, seq)
+        self._bcast0(None, seq)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        seq = self._next_seq()
+        if self.rank == root:
+            from repro.smpi.comm import _copy_payload
+            for r in range(self.size):
+                if r != root:
+                    self._csend(obj, r, seq)
+            return _copy_payload(obj)
+        return self._crecv(root, seq)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        seq = self._next_seq()
+        if self.rank == root:
+            from repro.smpi.comm import _copy_payload
+            return [_copy_payload(obj) if r == root else self._crecv(r, seq)
+                    for r in range(self.size)]
+        self._csend(obj, root, seq)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        seq = self._next_seq()
+        slots = self._gather0(obj, seq)
+        return self._bcast0(slots, seq)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        seq = self._next_seq()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise SimMPIError(
+                    f"scatter root must supply {self.size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            from repro.smpi.comm import _copy_payload
+            for r in range(self.size):
+                if r != root:
+                    self._csend(objs[r], r, seq)
+            return _copy_payload(objs[root])
+        return self._crecv(root, seq)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] | str = "sum",
+               root: int = 0) -> Any | None:
+        result = self.allreduce(obj, op)
+        return result if self.rank == root else None
+
+    def allreduce(self, obj: Any,
+                  op: Callable[[Any, Any], Any] | str = "sum") -> Any:
+        from repro.smpi.comm import _REDUCE_OPS
+        if isinstance(op, str) and op not in _REDUCE_OPS:
+            raise SimMPIError(
+                f"unknown reduce op {op!r}; use one of {sorted(_REDUCE_OPS)}")
+        fn = _REDUCE_OPS[op] if isinstance(op, str) else op
+        seq = self._next_seq()
+        slots = self._gather0(obj, seq)
+        if self.rank == 0:
+            # fold in ascending rank order — bitwise-identical to the
+            # threaded transport's slot fold
+            acc = slots[0]
+            for other in slots[1:]:
+                acc = fn(acc, other)
+            return self._bcast0(acc, seq)
+        return self._bcast0(None, seq)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        if len(objs) != self.size:
+            raise SimMPIError(
+                f"alltoall needs {self.size} items, got {len(objs)}")
+        from repro.smpi.comm import _copy_payload
+        seq = self._next_seq()
+        for r in range(self.size):
+            if r != self.rank:
+                self._csend(objs[r], r, seq)
+        return [_copy_payload(objs[r]) if r == self.rank
+                else self._crecv(r, seq) for r in range(self.size)]
+
+    # -- communicator management ---------------------------------------
+    def split(self, color: int, key: int | None = None) -> "ProcessComm | None":
+        """Partition by ``color``; deterministic comm ids on all ranks.
+
+        Every member computes the same grouping from the same
+        allgathered ``(color, key, rank)`` triples, so the derived
+        ``comm_id`` — ``"{parent}/{gen}.{color}"`` — agrees everywhere
+        without a coordinator.
+        """
+        key = self.rank if key is None else key
+        pairs = self.allgather((color, key, self.rank))
+        self._split_gen += 1
+        if color < 0:
+            return None
+        members = sorted((k, r) for c, k, r in pairs if c == color)
+        ranks = [r for _k, r in members]
+        sub_id = f"{self.comm_id}/{self._split_gen}.{color}"
+        return ProcessComm(self._rt, sub_id,
+                           [self._ranks_world[r] for r in ranks],
+                           ranks.index(self.rank))
+
+
+# ---------------------------------------------------------------------------
+# process lifecycle
+# ---------------------------------------------------------------------------
+
+def _child_main(rank: int, nranks: int, fn: Callable[..., Any], args: tuple,
+                queues: Sequence[Any], conn: Any, abort: Any, done: Any,
+                timeout: float) -> None:
+    """Rank body: run ``fn``, report over the pipe, wait, hard-exit.
+
+    The explicit ``os._exit`` (after the parent signals ``done``)
+    skips inherited atexit handlers and queue-feeder joins that would
+    otherwise deadlock a fork child; ``done`` guarantees every queue
+    message this rank produced has either been consumed by a peer or
+    drained by the parent before the feeder threads are cancelled.
+    """
+    traffic = Traffic()
+    runtime = _ProcRuntime(rank, nranks, queues, abort, timeout, traffic)
+    comm = ProcessComm(runtime, "world", list(range(nranks)), rank)
+    status: str
+    payload: Any
+    try:
+        payload = fn(comm, *args)
+        status = "ok"
+    except SimAbort:
+        status, payload = "abort", None
+    except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        abort.set()
+        status, payload = "err", exc
+    report = (status, payload, traffic.message_log())
+    try:
+        blob = pickle.dumps(report)
+    except Exception as exc:  # result/exception not picklable
+        fallback = ("err",
+                    SimMPIError(f"rank {rank} result not picklable: {exc!r}"),
+                    traffic.message_log())
+        blob = pickle.dumps(fallback)
+    try:
+        conn.send_bytes(blob)
+    except Exception:  # pragma: no cover - parent already gone
+        pass
+    done.wait(timeout=max(timeout, 30.0))
+    for q in queues:
+        q.cancel_join_thread()
+    os._exit(0)
+
+
+def _drain_queues(queues: Sequence[Any]) -> None:
+    """Empty every rank queue, unlinking stray shared-memory segments."""
+    empty_passes = 0
+    while empty_passes < 2:
+        got = False
+        for q in queues:
+            while True:
+                try:
+                    item = q.get_nowait()
+                except _queue.Empty:
+                    break
+                except (OSError, ValueError):  # pragma: no cover - closed
+                    break
+                got = True
+                _release_payload(item[4])
+        if got:
+            empty_passes = 0
+        else:
+            empty_passes += 1
+            time.sleep(0.01)
+
+
+def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
+                      timeout: float = 120.0,
+                      traffic: Traffic | None = None) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``nranks`` forked OS processes.
+
+    The process-transport twin of :func:`repro.smpi.comm.run_ranks`:
+    same call shape, same return contract (per-rank results in rank
+    order; the lowest-failing-rank exception re-raised on failure),
+    but ranks execute with true multi-core parallelism. ``fork`` is
+    required — test suites pass closures over mesh data, which spawn
+    could not pickle — so this transport is POSIX-only.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only guard
+        raise TransportError("process transport requires fork()")
+    out_traffic = traffic if traffic is not None else Traffic()
+    ctx = mp.get_context("fork")
+    # start the shm resource tracker before forking so children inherit
+    # a live tracker instead of racing to spawn their own
+    resource_tracker.ensure_running()
+    queues = [ctx.Queue() for _ in range(nranks)]
+    pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
+    abort = ctx.Event()
+    done = ctx.Event()
+    procs = [
+        ctx.Process(target=_child_main,
+                    args=(r, nranks, fn, args, queues, pipes[r][1], abort,
+                          done, timeout),
+                    name=f"smpi-proc-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    reports: list[tuple[str, Any, list] | None] = [None] * nranks
+    try:
+        for p in procs:
+            p.start()
+        for _parent, child in pipes:
+            child.close()
+        conn_rank = {pipes[r][0]: r for r in range(nranks)}
+        pending = set(range(nranks))
+        deadline = time.monotonic() + timeout * 2
+
+        def _collect(until: float) -> None:
+            while pending and time.monotonic() < until:
+                ready = _mpconn.wait(
+                    [pipes[r][0] for r in pending],
+                    timeout=min(0.2, max(0.0, until - time.monotonic())))
+                for conn in ready:
+                    r = conn_rank[conn]
+                    try:
+                        reports[r] = pickle.loads(conn.recv_bytes())
+                    except (EOFError, OSError):
+                        reports[r] = ("died", None, [])
+                    pending.discard(r)
+
+        _collect(deadline)
+        if pending:
+            # watchdog expired: wake blocked ranks, give them a short
+            # grace to report SimAbort, then declare them hung
+            abort.set()
+            _collect(time.monotonic() + 5.0)
+            for r in pending:
+                reports[r] = ("hung", None, [])
+            pending.clear()
+        _drain_queues(queues)
+        done.set()
+        for p in procs:
+            p.join(timeout=5.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+                p.join(timeout=5.0)
+    finally:
+        done.set()
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+        for q in queues:
+            q.close()
+        for parent, _child in pipes:
+            parent.close()
+
+    # merge per-rank logs in ascending rank order: the canonical
+    # sender-ordered schedule, deterministic run to run
+    for report in reports:
+        if report is not None:
+            out_traffic.merge_log(report[2])
+
+    failures: list[tuple[int, BaseException]] = []
+    for r, report in enumerate(reports):
+        status = report[0] if report is not None else "died"
+        if status == "err":
+            failures.append((r, report[1]))
+        elif status == "died":
+            code = procs[r].exitcode
+            failures.append((r, SimMPIError(
+                f"rank {r} process died without reporting "
+                f"(exitcode {code})")))
+        elif status == "hung":
+            failures.append((r, SimMPIError(
+                f"rank {r} failed to terminate within {timeout * 2:.1f}s — "
+                f"deadlock? (process transport has no wait-for-graph "
+                f"detector)")))
+    if failures:
+        failures.sort(key=lambda pair: pair[0])
+        raise failures[0][1]
+    if any(report is not None and report[0] == "abort" for report in reports):
+        # every rank either aborted or succeeded, yet nobody reported
+        # the original error (e.g. it died unpicklably)
+        raise SimMPIError("run aborted but no rank reported a failure")
+    return [report[1] for report in reports]  # type: ignore[index]

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite.
+
+``smpi_transport`` parameterizes a test over both simulated-MPI
+transports by setting ``REPRO_SMPI_TRANSPORT`` — the default every
+``run_ranks`` call (and the coupled driver) resolves when no explicit
+``transport=`` is passed. Distributed suites opt in by taking the
+fixture; tests that need thread-only features (deterministic
+schedules, fault plans, tracing) either skip on ``"process"`` or pass
+``transport="thread"`` explicitly.
+"""
+
+import pytest
+
+
+@pytest.fixture(params=["thread", "process"])
+def smpi_transport(request, monkeypatch):
+    """Run the test once per transport via the env-default mechanism."""
+    monkeypatch.setenv("REPRO_SMPI_TRANSPORT", request.param)
+    return request.param

@@ -47,7 +47,7 @@ def mesh():
 
 
 @pytest.mark.parametrize("nranks", [2, 3])
-def test_distributed_matches_serial(mesh, nranks):
+def test_distributed_matches_serial(mesh, nranks, smpi_transport):
     q_ref, hist_ref = run_serial(mesh, 4)
     q_dist, hists = run_distributed(mesh, nranks, 4)
     np.testing.assert_allclose(q_dist, q_ref, rtol=1e-12, atol=1e-13)
@@ -55,7 +55,7 @@ def test_distributed_matches_serial(mesh, nranks):
         np.testing.assert_allclose(hist, hist_ref, rtol=1e-12)
 
 
-def test_partial_halos_same_results(mesh):
+def test_partial_halos_same_results(mesh, smpi_transport):
     q_ref, _ = run_serial(mesh, 3)
     q_dist, _ = run_distributed(mesh, 2, 3, partial=True)
     np.testing.assert_allclose(q_dist, q_ref, rtol=1e-12, atol=1e-13)

@@ -33,7 +33,7 @@ def run_config(rows=2, **kw):
 
 
 class TestTwoRowCoupled:
-    def test_runs_and_reports(self):
+    def test_runs_and_reports(self, smpi_transport):
         driver = CoupledDriver(run_config())
         result = driver.run(3)
         assert result.nsteps == 3
@@ -50,7 +50,7 @@ class TestTwoRowCoupled:
         _xs, p = result.pressure_profile()
         assert (p > 0.1).all() and (p < 10.0).all()
 
-    def test_interface_continuity(self):
+    def test_interface_continuity(self, smpi_transport):
         """The sliding-plane treatment must keep the solution continuous
         across the interface (Fig. 10's 'absence of wiggles')."""
         driver = CoupledDriver(run_config())
@@ -87,7 +87,7 @@ class TestMultiRowMultiCU:
         assert len(result.rows) == 3
         assert len(result.cus) == 2
 
-    def test_multirank_rows_match_serial_rows(self):
+    def test_multirank_rows_match_serial_rows(self, smpi_transport):
         """Distributed sessions (2 ranks each) must match 1-rank ones."""
         ref = CoupledDriver(run_config(ranks_per_row=1)).run(4)
         got = CoupledDriver(run_config(ranks_per_row=2)).run(4)
@@ -116,7 +116,7 @@ class TestMultiRowMultiCU:
 
 
 class TestMonolithicBaseline:
-    def test_monolithic_matches_coupled_physics(self):
+    def test_monolithic_matches_coupled_physics(self, smpi_transport):
         """The paper's baseline runs the identical physics — only the
         execution layout differs."""
         cfg_c = run_config()
@@ -173,6 +173,24 @@ class TestValidation:
         cfg = run_config(ranks_per_row=[1, 1, 1])
         with pytest.raises(ValueError, match="ranks_per_row"):
             CoupledDriver(cfg)
+
+    @pytest.mark.parametrize("feature", [
+        {"trace": True},
+        {"schedule_seed": 7},
+    ])
+    def test_process_transport_rejects_thread_only_features(self, feature):
+        from repro.smpi import TransportError
+
+        driver = CoupledDriver(run_config(transport="process", **feature))
+        with pytest.raises(TransportError, match=next(iter(feature))):
+            driver.run(1)
+
+    def test_unknown_transport_rejected(self):
+        from repro.smpi import TransportError
+
+        driver = CoupledDriver(run_config(transport="telegraph"))
+        with pytest.raises(TransportError, match="unknown smpi transport"):
+            driver.run(1)
 
 
 class TestConservation:

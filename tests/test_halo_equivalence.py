@@ -99,13 +99,14 @@ def layouts_for(gp, table, nranks, owners):
         gp, nranks, {"nodes": owners, "edges": edge_owner})
 
 
-def run_distributed(gp, table, nranks, owners, partial, grouped):
+def run_distributed(gp, table, nranks, owners, partial, grouped,
+                    lazy=False):
     n = gp.sets["nodes"]
     layouts = layouts_for(gp, table, nranks, owners)
 
     def rank_fn(comm):
         op2.set_config(backend="vectorized", partial_halos=partial,
-                       grouped_halos=grouped)
+                       grouped_halos=grouped, lazy=lazy)
         local = op2.build_local_problem(gp, layouts[comm.rank], comm)
         totals = loop_sequence(local.sets["nodes"], local.sets["edges"],
                                local.maps["pedge"], local.dats["q"],
@@ -162,3 +163,74 @@ def test_exchange_scope_fills_its_entries_with_owner_values(case, scope):
 
     for got, want in run_ranks(nranks, rank_fn, timeout=60.0):
         np.testing.assert_array_equal(got, want)
+
+
+@given(random_meshes())
+@HALO_SETTINGS
+def test_own_scope_minimal_yet_sufficient(case):
+    """The depth-1 ``pedge@own`` exchange set is exactly the halo nodes
+    the *owned* map rows reference — no fewer (an owner-compute sweep
+    over owned edges reads every one of them) and no more (anything
+    else is depth-2 territory) — and the scope ladder nests:
+    ``@own ⊆ map ⊆ full``."""
+    n, table, nranks, owners, data_seed = case
+    gp = build_problem(n, table, data_seed)
+    layouts = layouts_for(gp, table, nranks, owners)
+
+    def rank_fn(comm):
+        local = op2.build_local_problem(gp, layouts[comm.rank], comm)
+        nodes = local.sets["nodes"]
+        edges = local.sets["edges"]
+        pedge = local.maps["pedge"]
+        halo = nodes.halo
+
+        def recv_set(scope):
+            plan = halo.plans[scope]
+            return {int(i) for v in plan.recv.values() for i in v}
+
+        own, per_map, full = (recv_set("pedge@own"), recv_set("pedge"),
+                              recv_set("full"))
+        refs_own = np.unique(pedge.values[: edges.size])
+        refs_exec = np.unique(pedge.values[: edges.exec_size])
+        expect_own = {int(i) for i in refs_own[refs_own >= nodes.size]}
+        expect_map = {int(i) for i in refs_exec[refs_exec >= nodes.size]}
+        assert own == expect_own          # minimal AND sufficient
+        assert per_map == expect_map
+        assert own <= per_map <= full     # subsumption ladder
+        assert full == set(range(nodes.size, nodes.total_size))
+        # matched pairwise plans: my sends to q mirror q's recvs from me
+        counts = {}
+        for scope in ("pedge@own", "pedge", "full"):
+            plan = halo.plans[scope]
+            counts[scope] = (
+                {q: len(v) for q, v in plan.send.items() if len(v)},
+                {q: len(v) for q, v in plan.recv.items() if len(v)})
+        return counts
+
+    results = run_ranks(nranks, rank_fn, timeout=60.0)
+    for scope in ("pedge@own", "pedge", "full"):
+        for r, counts in enumerate(results):
+            send, _recv = counts[scope]
+            for q, count in send.items():
+                peer_recv = results[q][scope][1]
+                assert peer_recv.get(r) == count, (
+                    f"{scope}: rank {r} sends {count} entries to {q} but "
+                    f"{q} expects {peer_recv.get(r)}")
+
+
+@given(random_meshes())
+@HALO_SETTINGS
+def test_lazy_partial_halos_bitwise_equal_eager_full(case):
+    """The aggressive end of the optimization space (lazy chains +
+    depth-aware partial halos + grouped messages) must be *bitwise*
+    equal to the conservative eager full exchange — not merely close:
+    both paths fold the same owner values in the same order."""
+    n, table, nranks, owners, data_seed = case
+    gp = build_problem(n, table, data_seed)
+    q_ref, totals_ref = run_distributed(gp, table, nranks, owners,
+                                        partial=False, grouped=False)
+    q_opt, totals_opt = run_distributed(gp, table, nranks, owners,
+                                        partial=True, grouped=True,
+                                        lazy=True)
+    np.testing.assert_array_equal(q_opt, q_ref)
+    assert totals_opt == totals_ref

@@ -99,7 +99,7 @@ def run_distributed(gp, table, nranks, steps=3, backend="vectorized",
 
 
 @pytest.mark.parametrize("nranks", [2, 3, 4])
-def test_distributed_matches_serial(nranks):
+def test_distributed_matches_serial(nranks, smpi_transport):
     gp, table = make_problem()
     q_ref, rms_ref = run_serial(gp, table)
     q_dist, rms_all = run_distributed(gp, table, nranks)
@@ -110,7 +110,7 @@ def test_distributed_matches_serial(nranks):
 
 @pytest.mark.parametrize("backend", ["sequential", "vectorized", "coloring",
                                      "atomics", "blockcolor"])
-def test_distributed_all_backends(backend):
+def test_distributed_all_backends(backend, smpi_transport):
     gp, table = make_problem(seed=3)
     q_ref, rms_ref = run_serial(gp, table)
     q_dist, rms_all = run_distributed(gp, table, 3, backend=backend)
@@ -120,7 +120,7 @@ def test_distributed_all_backends(backend):
 
 @pytest.mark.parametrize("partial,grouped", [(True, False), (False, True),
                                              (True, True)])
-def test_halo_optimizations_preserve_results(partial, grouped):
+def test_halo_optimizations_preserve_results(partial, grouped, smpi_transport):
     """PH and GH change traffic, never results (paper's Table III claim)."""
     gp, table = make_problem(seed=9)
     q_ref, rms_ref = run_serial(gp, table)
@@ -130,7 +130,7 @@ def test_halo_optimizations_preserve_results(partial, grouped):
     np.testing.assert_allclose(rms_all[0], rms_ref, rtol=1e-12)
 
 
-def test_partial_halos_reduce_traffic():
+def test_partial_halos_reduce_traffic(smpi_transport):
     from repro.smpi import Traffic
 
     gp, table = make_problem(n=48, seed=5)
@@ -167,7 +167,7 @@ def test_partial_halos_reduce_traffic():
     assert part_bytes <= full_bytes
 
 
-def test_grouped_halos_reduce_message_count():
+def test_grouped_halos_reduce_message_count(smpi_transport):
     from repro.smpi import Traffic
 
     gp, table = make_problem(n=36, seed=6)
@@ -197,7 +197,7 @@ def test_grouped_halos_reduce_message_count():
     assert run(grouped=True) < run(grouped=False)
 
 
-def test_distributed_min_max_reductions():
+def test_distributed_min_max_reductions(smpi_transport):
     gp, table = make_problem(seed=11)
     n = gp.sets["nodes"]
 
