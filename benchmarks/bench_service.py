@@ -1,0 +1,113 @@
+"""Service-layer load benchmark — throughput, tail latency, dedup.
+
+Two measurements on the async job service:
+
+* **dedup proof** (sequential, uncontended): the first tenant's job
+  pays the full problem-setup build; a second tenant submitting the
+  identical case must pay < 10% of that (it adopts the cached
+  :class:`~repro.coupler.DriverSetup`), with the cache counters in
+  the service metrics doc as the evidence and the two result digests
+  asserted bitwise-equal.
+
+* **offered-load sweep** (concurrent): Poisson arrivals from 4
+  tenants at utilization factors ρ ∈ {0.5, 1.0, 2.0} of measured
+  capacity. Reported per load: completed requests/s and p50/p99
+  end-to-end latency of admitted jobs, plus how much traffic
+  admission control shed. The shape to look for: p99 stays bounded
+  through ρ = 2.0 *because* rejections climb — that is the admission
+  controller doing its job, not a failure.
+
+Writes ``benchmarks/out/BENCH_service.json`` (telemetry bench
+schema).
+"""
+
+import asyncio
+import pathlib
+
+from repro.service import (
+    EngineCase,
+    JobRequest,
+    JobScheduler,
+    LoadSweepConfig,
+    run_load_sweep,
+    sweep_metrics,
+)
+from repro.telemetry import write_bench_summary
+from repro.telemetry.metrics import validate_metrics
+from repro.util.tables import format_table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+CASE = EngineCase()
+NSTEPS = 4
+LOADS = (0.5, 1.0, 2.0)
+TENANTS = 4
+JOBS_PER_LOAD = 12
+
+
+async def _dedup_proof(root):
+    """Sequential two-tenant run; returns (build_s, second_s, doc)."""
+    async with JobScheduler(slots=1, checkpoint_root=root) as sched:
+        first = await (await sched.submit(JobRequest(
+            tenant="tenant-first", case=CASE, nsteps=NSTEPS))).result()
+        stats = sched.setup_cache.stats
+        build_s = sum(stats.build_cost.values())
+        hits0, hit_s0 = stats.hits, stats.hit_seconds
+        second = await (await sched.submit(JobRequest(
+            tenant="tenant-second", case=CASE, nsteps=NSTEPS))).result()
+        second_setup_s = stats.hit_seconds - hit_s0
+        second_hits = stats.hits - hits0
+        doc = sched.metrics_doc()
+    assert first.ok and second.ok
+    assert first.digest == second.digest, "identical case, identical result"
+    assert second_hits >= 1, "second tenant must hit the setup cache"
+    return build_s, second_setup_s, doc
+
+
+def test_service_dedup_and_load_sweep(report, tmp_path):
+    build_s, second_setup_s, doc = asyncio.run(
+        _dedup_proof(tmp_path / "dedup"))
+    validate_metrics(doc)
+    setup_counters = doc["caches"]["setup"]
+    assert setup_counters["misses"] == 1, setup_counters
+    assert setup_counters["hits"] >= 1, setup_counters
+    # the tentpole acceptance bar: second tenant pays < 10% of first
+    ratio = second_setup_s / build_s if build_s > 0 else 0.0
+    assert ratio < 0.10, (
+        f"second tenant's setup {second_setup_s * 1e3:.2f}ms is "
+        f"{ratio:.1%} of the first's {build_s * 1e3:.2f}ms build")
+
+    sweep = asyncio.run(run_load_sweep(
+        LoadSweepConfig(case=CASE, nsteps=NSTEPS, offered_loads=LOADS,
+                        jobs_per_load=JOBS_PER_LOAD, tenants=TENANTS,
+                        slots=2),
+        tmp_path / "sweep"))
+    assert len(sweep["points"]) >= 3
+    for point in sweep["points"]:
+        assert point["completed"] >= 1, point
+
+    rows = [[f"{p['rho']:.1f}", f"{p['offered_rate_jobs_s']:.2f}",
+             f"{p['throughput_jobs_s']:.2f}",
+             f"{p['latency_p50_s']:.3f}", f"{p['latency_p99_s']:.3f}",
+             f"{p['rejected']}/{p['submitted']}"]
+            for p in sweep["points"]]
+    report("service: offered-load sweep "
+           f"({TENANTS} tenants, {JOBS_PER_LOAD} jobs/load, "
+           f"{NSTEPS}-step cases, 2 slots)\n"
+           + format_table(["rho", "offered [jobs/s]", "done [jobs/s]",
+                           "p50 [s]", "p99 [s]", "rejected"], rows)
+           + f"\ndedup: 2nd tenant setup {second_setup_s * 1e3:.2f}ms = "
+             f"{ratio:.1%} of 1st ({build_s * 1e3:.2f}ms), "
+             f"counters {setup_counters}")
+
+    metrics = sweep_metrics(sweep)
+    metrics["dedup_first_setup"] = {"value": build_s, "unit": "s"}
+    metrics["dedup_second_setup"] = {"value": second_setup_s, "unit": "s"}
+    metrics["dedup_ratio"] = {"value": ratio, "unit": "fraction"}
+    write_bench_summary(OUT_DIR, "service", metrics, meta={
+        "tenants": TENANTS, "jobs_per_load": JOBS_PER_LOAD,
+        "nsteps": NSTEPS, "slots": 2, "offered_loads": list(LOADS),
+        "setup_cache_counters": {k: v for k, v in setup_counters.items()},
+        "note": "latency percentiles over admitted+completed jobs; "
+                "rejections are admission control shedding load",
+    })

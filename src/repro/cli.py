@@ -24,6 +24,14 @@ Exposes the library's headline workflows without writing a script:
     Time the airfoil iteration per kernel under one or more backends
     (``--backend native`` exercises the compiled path end to end) and
     optionally write a bench-schema JSON.
+``submit``
+    Submit one or more jobs to an in-process simulation service and
+    stream their progress events; comma-separated ``--tenant`` values
+    demo cross-tenant problem-setup dedup.
+``serve``
+    Drive the service under a seeded offered-load sweep and print
+    throughput plus p50/p99 latency per load (the CI smoke entry
+    point; ``--out`` writes BENCH_service.json).
 """
 
 from __future__ import annotations
@@ -478,6 +486,125 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_case(args: argparse.Namespace):
+    from repro.service import EngineCase
+
+    return EngineCase(nr=args.nr, nt=args.nt, nx=args.nx, rows=args.rows,
+                      steps_per_revolution=args.steps_per_rev,
+                      inner_iters=args.inner, p_out=args.p_out)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """One-shot client: spin up an in-process service, submit, stream."""
+    import asyncio
+    import json
+    import tempfile
+
+    from repro.service import JobRequest, JobScheduler
+
+    case = _service_case(args)
+
+    async def run() -> list:
+        tenants = args.tenant.split(",")
+        async with JobScheduler(slots=args.slots,
+                                checkpoint_root=args.checkpoint_root) \
+                as sched:
+            # SIGINT/SIGTERM: checkpoint-and-suspend, then report
+            sched.install_signal_handlers()
+            handles = [await sched.submit(JobRequest(
+                tenant=tenant, case=case, nsteps=args.steps,
+                priority=args.priority, deadline_s=args.deadline,
+                job_id=args.job_id if len(tenants) == 1 else None))
+                for tenant in tenants]
+
+            async def stream(handle):
+                async for ev in handle.stream():
+                    if not args.json:
+                        extra = (f" {ev.detail}" if ev.detail else "")
+                        print(f"[{handle.job_id}] {ev.kind:>10} "
+                              f"step {ev.step}/{ev.nsteps} "
+                              f"t={ev.t:.2f}s{extra}")
+
+            results, *_ = await asyncio.gather(
+                asyncio.gather(*(h.result() for h in handles)),
+                *(stream(h) for h in handles))
+            if len(tenants) > 1:
+                stats = sched.setup_cache.stats
+                if not args.json:
+                    print(f"setup cache: {stats.misses} build(s), "
+                          f"{stats.hits} adoption(s)")
+            return results
+
+    if args.checkpoint_root is None:
+        args.checkpoint_root = tempfile.mkdtemp(prefix="repro-service-")
+    results = asyncio.run(run())
+    for result in results:
+        if args.json:
+            print(json.dumps({
+                "job_id": result.job_id, "tenant": result.tenant,
+                "status": result.status.value, "digest": result.digest,
+                "metrics": result.metrics, "timings": result.timings,
+                "recovery": {k: v for k, v in result.recovery.items()
+                             if k != "events"},
+                "error": result.error}, sort_keys=True))
+        elif result.ok:
+            print(f"[{result.job_id}] completed: pressure ratio "
+                  f"{result.metrics['pressure_ratio']:.3f}, "
+                  f"digest {result.digest[:12]}…")
+        elif result.status.value == "suspended":
+            print(f"[{result.job_id}] suspended at step "
+                  f"{result.timings.get('last_step', 0)} — rerun with "
+                  f"--job-id {result.job_id} and the same "
+                  f"--checkpoint-root to resume")
+        else:
+            print(f"[{result.job_id}] {result.status.value}: "
+                  f"{result.error}")
+    return 0 if all(r.status.value in ("completed", "suspended")
+                    for r in results) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Load-mode service demo: offered-load sweep over worker slots."""
+    import asyncio
+    import pathlib
+    import tempfile
+
+    from repro.service import LoadSweepConfig, run_load_sweep, sweep_metrics
+    from repro.telemetry import write_bench_summary
+    from repro.util.tables import format_table
+
+    case = _service_case(args)
+    loads = tuple(float(x) for x in args.loads.split(","))
+    root = args.checkpoint_root or tempfile.mkdtemp(prefix="repro-serve-")
+    sweep = asyncio.run(run_load_sweep(
+        LoadSweepConfig(case=case, nsteps=args.steps, offered_loads=loads,
+                        jobs_per_load=args.jobs_per_load,
+                        tenants=args.tenants, slots=args.slots,
+                        seed=args.seed), root))
+    rows = [[f"{p['rho']:.2f}", f"{p['offered_rate_jobs_s']:.2f}",
+             f"{p['throughput_jobs_s']:.2f}", f"{p['latency_p50_s']:.3f}",
+             f"{p['latency_p99_s']:.3f}", f"{p['rejected']}/{p['submitted']}"]
+            for p in sweep["points"]]
+    print(f"service: {args.slots} slots, {args.tenants} tenants, "
+          f"{args.steps}-step cases "
+          f"(calibrated service time {sweep['service_time_s']:.2f}s)")
+    print(format_table(["rho", "offered [jobs/s]", "done [jobs/s]",
+                        "p50 [s]", "p99 [s]", "rejected"], rows))
+    cache = sweep["service"]["setup_cache"]
+    print(f"setup cache: {cache['misses']} build(s), {cache['hits']} "
+          f"adoption(s); model unit_seconds "
+          f"{sweep['service']['unit_seconds']:.3g}")
+    if args.out:
+        path = write_bench_summary(
+            pathlib.Path(args.out), "service", sweep_metrics(sweep),
+            meta={"slots": args.slots, "tenants": args.tenants,
+                  "jobs_per_load": args.jobs_per_load,
+                  "nsteps": args.steps, "offered_loads": list(loads),
+                  "source": "repro.cli serve"})
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_report(_args: argparse.Namespace) -> int:
     from repro.perf.report import build_report, render_report
 
@@ -590,6 +717,54 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["sequential", "vectorized", "coloring"],
                    default="vectorized")
     p.set_defaults(fn=_cmd_codegen)
+
+    def _case_args(p):
+        p.add_argument("--rows", type=int, default=2)
+        p.add_argument("--nr", type=int, default=3)
+        p.add_argument("--nt", type=int, default=12)
+        p.add_argument("--nx", type=int, default=4)
+        p.add_argument("--steps-per-rev", type=int, default=64)
+        p.add_argument("--inner", type=int, default=4)
+        p.add_argument("--p-out", type=float, default=1.0)
+
+    p = sub.add_parser("submit",
+                       help="submit job(s) to an in-process simulation "
+                            "service and stream progress")
+    _case_args(p)
+    p.add_argument("--tenant", default="cli",
+                   help="tenant name, or comma-separated list to demo "
+                        "cross-tenant setup dedup")
+    p.add_argument("--steps", type=int, default=6)
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="seconds from submission; infeasible deadlines "
+                        "are rejected at admission")
+    p.add_argument("--job-id", default=None,
+                   help="resume identity: reuse a suspended job's id "
+                        "with the same --checkpoint-root to continue it")
+    p.add_argument("--slots", type=int, default=2)
+    p.add_argument("--checkpoint-root", default=None,
+                   help="service checkpoint namespace "
+                        "(default: a fresh temp dir)")
+    p.add_argument("--json", action="store_true",
+                   help="print one JSON result per job instead of text")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser("serve",
+                       help="run the service under a seeded offered-load "
+                            "sweep; print throughput + p50/p99 latency")
+    _case_args(p)
+    p.add_argument("--steps", type=int, default=4)
+    p.add_argument("--slots", type=int, default=2)
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--loads", default="0.5,1.0,2.0",
+                   help="comma-separated utilization factors rho")
+    p.add_argument("--jobs-per-load", type=int, default=12)
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--checkpoint-root", default=None)
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="also write BENCH_service.json under DIR")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("bench",
                        help="per-kernel airfoil timings under one or "

@@ -24,12 +24,21 @@ from repro.coupler.search import (
 )
 from repro.coupler.interface import SideGeometry, SlidingInterface
 from repro.coupler.partitioning import segment_of, segment_targets
-from repro.coupler.driver import CoupledDriver, CoupledRunConfig, CoupledResult, balanced_ranks
+from repro.coupler.driver import (
+    CoupledDriver,
+    CoupledRunConfig,
+    CoupledResult,
+    DriverSetup,
+    balanced_ranks,
+    build_driver_setup,
+    setup_fingerprint,
+)
 from repro.coupler.monolithic import MonolithicDriver
 
 __all__ = [
     "ADTree", "ADTSearch", "BruteForceSearch", "SearchStats", "make_search",
     "SideGeometry", "SlidingInterface", "segment_of", "segment_targets",
-    "CoupledDriver", "CoupledRunConfig", "CoupledResult", "MonolithicDriver",
-    "balanced_ranks",
+    "CoupledDriver", "CoupledRunConfig", "CoupledResult", "DriverSetup",
+    "MonolithicDriver", "balanced_ranks", "build_driver_setup",
+    "setup_fingerprint",
 ]

@@ -12,6 +12,9 @@ monitors, timings, traffic and search statistics.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import os
 from dataclasses import dataclass, field
 
@@ -288,10 +291,77 @@ def balanced_ranks(rig: Rig250Config, total_ranks: int) -> list[int]:
     return ranks.tolist()
 
 
-class CoupledDriver:
-    """Assembles and runs the coupled compressor simulation."""
+@dataclass(frozen=True)
+class DriverSetup:
+    """The shareable, read-only products of one case's problem setup.
 
-    def __init__(self, cfg: CoupledRunConfig) -> None:
+    Everything :class:`CoupledDriver` builds before a run starts —
+    meshes, initial problems, partition layouts, interface routing —
+    packaged so identical cases (same :func:`setup_fingerprint`) can
+    share one build instead of paying the setup cost per run. All
+    members are treated as immutable: per-run state is copied out of
+    ``problems`` by ``build_serial_problem``/``build_local_problem``,
+    so concurrent runs over one setup are safe (the same contract the
+    rank threads of a single run already rely on).
+    """
+
+    fingerprint: str
+    meshes: list
+    problems: list
+    layouts: list
+    node_owner_world: list
+    row_ranks: list
+    cu_ranks: list
+    n_world: int
+    interfaces: list
+    directions: list
+
+
+def _fingerprint_default(obj):
+    """JSON fallback for config dataclass leaves (enums, odd types)."""
+    name = getattr(obj, "name", None)
+    if isinstance(name, str):
+        return name
+    return repr(obj)
+
+
+def setup_fingerprint(cfg: CoupledRunConfig) -> str:
+    """Stable digest of every config field the problem setup depends on.
+
+    Two configs with equal fingerprints build identical meshes,
+    initial problems, partition layouts and interface routing, so a
+    :class:`DriverSetup` built for one can drive the other. Numerics,
+    outlet pressure, checkpointing, tracing and transport are run-time
+    concerns and deliberately excluded — a service layer can therefore
+    share one setup across tenants that vary those knobs.
+    """
+    payload = {
+        "rig": dataclasses.asdict(cfg.rig),
+        "ranks_per_row": cfg.ranks_of(),
+        "cus_per_interface": cfg.cus_per_interface,
+        "partition_scheme": cfg.partition_scheme,
+        "inlet": dataclasses.asdict(cfg.inlet),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=_fingerprint_default)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def build_driver_setup(cfg: CoupledRunConfig) -> DriverSetup:
+    """Build (only) the shareable setup products for ``cfg``."""
+    return CoupledDriver(cfg).setup
+
+
+class CoupledDriver:
+    """Assembles and runs the coupled compressor simulation.
+
+    Passing a prebuilt ``shared`` :class:`DriverSetup` (from
+    :func:`build_driver_setup`, typically via the service layer's
+    setup cache) skips mesh/problem/interface construction; the setup
+    must carry the same :func:`setup_fingerprint` as ``cfg``.
+    """
+
+    def __init__(self, cfg: CoupledRunConfig,
+                 shared: DriverSetup | None = None) -> None:
         self.cfg = cfg
         rig = cfg.rig
         if rig.n_rows < 2:
@@ -303,6 +373,15 @@ class CoupledDriver:
                     f"sector angles (1/{a.sector} vs 1/{b.sector}); sliding "
                     f"planes require matching sectors (paper §I)"
                 )
+        if shared is not None:
+            expect = setup_fingerprint(cfg)
+            if shared.fingerprint != expect:
+                raise ValueError(
+                    f"shared DriverSetup fingerprint {shared.fingerprint[:12]}"
+                    f"… does not match this config ({expect[:12]}…); it was "
+                    f"built for a different case")
+            self._adopt(shared)
+            return
         self.meshes = [make_row_mesh(r) for r in rig.rows]
         # initial state per row, in the row's frame
         self.problems = []
@@ -341,6 +420,27 @@ class CoupledDriver:
                     np.asarray(owners["nodes"]) + self.row_ranks[i][0])
 
         self.interfaces, self.directions = self._build_interfaces()
+        self.setup = DriverSetup(
+            fingerprint=setup_fingerprint(cfg),
+            meshes=self.meshes, problems=self.problems,
+            layouts=self.layouts,
+            node_owner_world=self._node_owner_world,
+            row_ranks=self.row_ranks, cu_ranks=self.cu_ranks,
+            n_world=self.n_world, interfaces=self.interfaces,
+            directions=self.directions)
+
+    def _adopt(self, shared: DriverSetup) -> None:
+        """Drive this config off a prebuilt (cached) setup."""
+        self.setup = shared
+        self.meshes = shared.meshes
+        self.problems = shared.problems
+        self.layouts = shared.layouts
+        self._node_owner_world = shared.node_owner_world
+        self.row_ranks = shared.row_ranks
+        self.cu_ranks = shared.cu_ranks
+        self.n_world = shared.n_world
+        self.interfaces = shared.interfaces
+        self.directions = shared.directions
 
     # -- static interface routing -----------------------------------------
     def _side_geometry(self, row_idx: int, side: str) -> SideGeometry:

@@ -120,7 +120,7 @@ def _reduced_cfl_cfg(cfg, policy: RecoveryPolicy):
 
 def run_resilient(cfg, nsteps: int,
                   policy: RecoveryPolicy | None = None,
-                  sleep=time.sleep):
+                  sleep=time.sleep, driver_factory=None):
     """Run a coupled simulation under supervision.
 
     ``cfg`` is a :class:`~repro.coupler.driver.CoupledRunConfig`;
@@ -130,15 +130,24 @@ def run_resilient(cfg, nsteps: int,
     successful attempt with ``result.recovery`` set to the
     :class:`RecoveryLog`. Raises :class:`RunAborted` once
     ``policy.max_retries`` retries are spent.
+
+    ``driver_factory(cfg)`` overrides driver construction — the
+    service layer passes a factory backed by its shared
+    :class:`~repro.coupler.driver.DriverSetup` cache so retries (and
+    concurrent tenants) skip mesh/problem setup. The factory is called
+    once per attempt with the attempt's config (which may differ from
+    the original, e.g. after a CFL backoff).
     """
     from repro.coupler.driver import CoupledDriver
 
     policy = policy or RecoveryPolicy()
+    if driver_factory is None:
+        driver_factory = CoupledDriver
     log = RecoveryLog()
     failures: list[BaseException] = []
     for attempt in range(policy.max_retries + 1):
         log.attempts = attempt + 1
-        driver = CoupledDriver(cfg)
+        driver = driver_factory(cfg)
         resume = None
         if cfg.checkpoint_dir is not None:
             resume = latest_valid_checkpoint(cfg.checkpoint_dir)
@@ -175,16 +184,20 @@ def run_resilient(cfg, nsteps: int,
     raise AssertionError("unreachable")  # pragma: no cover
 
 
-def resume_coupled(cfg, nsteps: int, resume_from="latest"):
+def resume_coupled(cfg, nsteps: int, resume_from="latest",
+                   driver_factory=None):
     """Restart a coupled run from a committed checkpoint set.
 
     ``resume_from`` is ``"latest"`` (newest intact set under
     ``cfg.checkpoint_dir``), a path to a ``step-NNNNNN`` directory, or
     a :class:`~repro.resilience.checkpoint.CheckpointManifest`. With
     ``"latest"`` and no surviving checkpoint the run restarts cold.
+    ``driver_factory`` is as in :func:`run_resilient`.
     """
     from repro.coupler.driver import CoupledDriver
 
+    if driver_factory is None:
+        driver_factory = CoupledDriver
     if resume_from == "latest":
         if cfg.checkpoint_dir is None:
             raise ValueError(
@@ -195,4 +208,4 @@ def resume_coupled(cfg, nsteps: int, resume_from="latest"):
         manifest = resume_from
     else:
         manifest = load_manifest(resume_from)
-    return CoupledDriver(cfg).run(nsteps, resume_from=manifest)
+    return driver_factory(cfg).run(nsteps, resume_from=manifest)

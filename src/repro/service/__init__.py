@@ -1,0 +1,56 @@
+"""repro.service: async multi-tenant simulation-as-a-service layer.
+
+Turns the coupled mini-Rig250 driver into a long-lived service:
+typed job requests in (:mod:`~repro.service.api`), metric dicts and
+telemetry summaries out, multiplexed over bounded worker slots by an
+asyncio scheduler (:mod:`~repro.service.scheduler`) with
+telemetry-calibrated admission control (:mod:`~repro.service.cost`,
+:mod:`~repro.service.admission`), cross-tenant problem-setup
+deduplication (:mod:`~repro.service.dedup`), streaming progress and
+checkpoint-backed cancel/suspend/resume (:mod:`~repro.service.
+executor`), and a reproducible load generator
+(:mod:`~repro.service.loadgen`) behind ``benchmarks/bench_service.py``.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.service.api import (
+    AdmissionError,
+    EngineCase,
+    JobRequest,
+    JobResult,
+    JobStatus,
+    ProgressEvent,
+    ServiceError,
+    job_metrics,
+    result_digest,
+)
+from repro.service.cost import CostModel
+from repro.service.dedup import SetupCache, SetupCacheStats
+from repro.service.executor import (
+    ExecutionOutcome,
+    JobControl,
+    execute_job,
+    job_checkpoint_dir,
+    segment_boundaries,
+)
+from repro.service.loadgen import (
+    LoadSweepConfig,
+    measure_service_time,
+    run_load_sweep,
+    sweep_metrics,
+)
+from repro.service.scheduler import JobHandle, JobScheduler
+
+__all__ = [
+    "AdmissionController", "AdmissionDecision", "AdmissionError",
+    "AdmissionPolicy", "CostModel", "EngineCase", "ExecutionOutcome",
+    "JobControl", "JobHandle", "JobRequest", "JobResult", "JobScheduler",
+    "JobStatus", "LoadSweepConfig", "ProgressEvent", "ServiceError",
+    "SetupCache", "SetupCacheStats", "execute_job", "job_checkpoint_dir",
+    "job_metrics", "measure_service_time", "result_digest",
+    "run_load_sweep", "segment_boundaries", "sweep_metrics",
+]

@@ -1,0 +1,78 @@
+"""Telemetry-calibrated job cost estimation for admission control.
+
+The admission controller needs *seconds per job* before the job runs.
+The cost model reuses the perf layer's central quantity — seconds per
+node update (``unit_seconds``), the same constant
+:func:`repro.perf.calibrate.calibrate_unit_seconds` extracts from a
+recorded telemetry metrics doc — and multiplies it by the job's work:
+
+    work = total mesh nodes × physical steps × inner iterations
+
+The prior comes from the paper-anchored :data:`~repro.perf.calibrate.
+CALIBRATION`; a recorded metrics doc (:meth:`CostModel.from_metrics`)
+replaces it with this machine's measured value, and every completed
+job refines it online through an exponentially weighted moving
+average — so the queue-wait predictions track the machine the service
+actually runs on, loaded or not.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.api import JobRequest
+
+__all__ = ["CostModel"]
+
+#: EWMA weight of each new observation
+_DEFAULT_ALPHA = 0.3
+
+
+class CostModel:
+    """Seconds-per-node-update estimator with online refinement."""
+
+    def __init__(self, unit_seconds: float | None = None,
+                 alpha: float = _DEFAULT_ALPHA) -> None:
+        if unit_seconds is None:
+            from repro.perf.calibrate import CALIBRATION
+
+            # the ARCHER2 constant is the paper-anchored prior; one
+            # observed job replaces most of it (alpha-weighted)
+            unit_seconds = CALIBRATION.unit_seconds["ARCHER2"]
+        self.unit_seconds = float(unit_seconds)
+        self.alpha = float(alpha)
+        self.observations = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_metrics(cls, doc: dict, alpha: float = _DEFAULT_ALPHA
+                     ) -> "CostModel":
+        """Seed from a recorded ``repro-telemetry-metrics-v1`` doc."""
+        from repro.perf.calibrate import calibrate_unit_seconds
+
+        cal = calibrate_unit_seconds(doc, machine="service")
+        return cls(unit_seconds=cal.unit_seconds["service"], alpha=alpha)
+
+    @staticmethod
+    def work_units(request: JobRequest) -> float:
+        """Node updates the request will perform (its admission weight)."""
+        case = request.case
+        return float(case.total_nodes()) * request.nsteps * case.inner_iters
+
+    def estimate_seconds(self, request: JobRequest) -> float:
+        """Predicted single-job wall seconds (excluding queueing)."""
+        return self.work_units(request) * self.unit_seconds
+
+    def observe(self, request: JobRequest, measured_seconds: float) -> None:
+        """Fold one completed job's measured run time into the model."""
+        work = self.work_units(request)
+        if work <= 0 or measured_seconds <= 0:
+            return
+        sample = measured_seconds / work
+        with self._lock:
+            if self.observations == 0:
+                # first real measurement beats any prior outright
+                self.unit_seconds = sample
+            else:
+                self.unit_seconds += self.alpha * (sample - self.unit_seconds)
+            self.observations += 1

@@ -1,0 +1,145 @@
+"""Segmented, checkpoint-backed execution of one service job.
+
+A job does not run as one monolithic ``driver.run(nsteps)`` call: the
+executor drives it in *segments* of ``segment_steps`` physical steps,
+each ending on a committed checkpoint. Between segments it observes
+the job's control flags, which is what turns the resilience layer's
+primitives into service verbs:
+
+* **progress** — a streamed event per segment boundary;
+* **cancel / suspend** — honored at the next boundary; the newest
+  committed checkpoint stays on disk, so a suspended job resumes
+  bitwise-identically (resubmit with the same ``job_id``);
+* **crash recovery** — each segment runs under
+  :func:`repro.resilience.run_resilient`, so an injected fault inside
+  a segment is retried from the last checkpoint within the retry
+  budget and the client never observes an error.
+
+Every job gets its own checkpoint namespace
+(:func:`job_checkpoint_dir`: ``root/tenant/job_id``) — concurrent
+jobs can never read each other's ``latest_valid_checkpoint``, which
+used to be a real collision hazard when two runs shared a
+``checkpoint_dir``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.resilience.checkpoint import latest_valid_checkpoint
+from repro.resilience.supervisor import RecoveryPolicy, run_resilient
+from repro.service.api import JobRequest
+
+__all__ = ["ExecutionOutcome", "JobControl", "execute_job",
+           "job_checkpoint_dir", "segment_boundaries"]
+
+
+def job_checkpoint_dir(root, tenant: str, job_id: str) -> Path:
+    """The per-job unique checkpoint namespace ``root/tenant/job_id``.
+
+    Uniqueness is load-bearing: ``latest_valid_checkpoint`` scans a
+    directory, so two concurrently driven jobs sharing one would
+    restore each other's state.
+    """
+    return Path(root) / tenant / job_id
+
+
+def segment_boundaries(start: int, nsteps: int,
+                       segment_steps: int) -> list[int]:
+    """Step numbers each segment runs to (always ending at ``nsteps``)."""
+    if segment_steps < 1:
+        raise ValueError(f"segment_steps must be >= 1, got {segment_steps}")
+    if start >= nsteps:
+        # nothing left to advance; one empty replay regenerates the report
+        return [nsteps]
+    bounds = list(range(start + segment_steps, nsteps, segment_steps))
+    bounds.append(nsteps)
+    return bounds
+
+
+class JobControl:
+    """Cancel/suspend flags, set by the scheduler (event-loop thread)
+    and polled by the executor (worker thread) at segment boundaries.
+    Plain attribute flips — cross-thread visibility is guaranteed by
+    the interpreter, and stale reads only delay the stop by one
+    segment."""
+
+    def __init__(self) -> None:
+        self.cancel = False
+        self.suspend = False
+
+    @property
+    def stop_requested(self) -> bool:
+        return self.cancel or self.suspend
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one executor invocation produced."""
+
+    kind: str                 #: completed | suspended | cancelled
+    result: object = None     #: CoupledResult when completed
+    step: int = 0             #: last committed physical step
+    resumed_from: int = 0     #: checkpoint step the job continued from
+    run_seconds: float = 0.0  #: wall time spent inside coupled runs
+    recovery: dict = field(default_factory=dict)
+
+
+def _merge_recovery(total: dict, log) -> None:
+    if log is None:
+        return
+    total["attempts"] = total.get("attempts", 0) + log.attempts
+    total["recoveries"] = total.get("recoveries", 0) + log.recoveries
+    total.setdefault("events", []).extend(e.as_dict() for e in log.events)
+
+
+def execute_job(request: JobRequest, cfg, *,
+                segment_steps: int,
+                policy: RecoveryPolicy | None = None,
+                driver_factory=None,
+                control: JobControl | None = None,
+                progress=None) -> ExecutionOutcome:
+    """Run one job to completion, suspension or cancellation.
+
+    ``cfg`` must already carry the job's private ``checkpoint_dir``
+    and a ``checkpoint_every`` that divides ``segment_steps`` (so
+    every segment boundary is a committed checkpoint). ``progress``
+    is called as ``progress(kind, step, detail)`` from the worker
+    thread; the scheduler marshals it onto the event loop.
+    """
+    control = control or JobControl()
+    policy = policy or RecoveryPolicy()
+    notify = progress or (lambda kind, step, detail: None)
+    if cfg.checkpoint_dir is None:
+        raise ValueError("execute_job needs cfg.checkpoint_dir (per-job)")
+    if segment_steps % max(1, cfg.checkpoint_every) != 0:
+        raise ValueError(
+            f"segment_steps ({segment_steps}) must be a multiple of "
+            f"checkpoint_every ({cfg.checkpoint_every}) so segments end "
+            f"on committed checkpoints")
+
+    manifest = latest_valid_checkpoint(cfg.checkpoint_dir)
+    start = manifest.step if manifest is not None else 0
+    outcome = ExecutionOutcome(kind="completed", step=start,
+                               resumed_from=start)
+    notify("started", start, {"resumed_from": start})
+    result = None
+    for bound in segment_boundaries(start, request.nsteps, segment_steps):
+        if control.stop_requested:
+            outcome.kind = "cancelled" if control.cancel else "suspended"
+            notify(outcome.kind, outcome.step, {})
+            return outcome
+        t0 = time.perf_counter()
+        result = run_resilient(cfg, bound, policy=policy,
+                               driver_factory=driver_factory)
+        outcome.run_seconds += time.perf_counter() - t0
+        outcome.step = bound
+        _merge_recovery(outcome.recovery, result.recovery)
+        detail = {}
+        if result.recovery is not None and result.recovery.recoveries:
+            detail["recoveries"] = result.recovery.recoveries
+        notify("progress", bound, detail)
+    outcome.result = result
+    return outcome

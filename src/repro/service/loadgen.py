@@ -1,0 +1,146 @@
+"""Closed-form load generator for the service benchmark.
+
+Offered load is expressed as a *utilization factor* ρ relative to the
+service's measured capacity: a calibration job measures the mean
+single-job service time ``S``, then each sweep point submits Poisson
+arrivals at rate ``λ = ρ · slots / S`` — ρ = 0.5 is a half-idle
+service, ρ = 2.0 is sustained overload where admission control must
+shed load to keep the latency of *admitted* jobs bounded. Arrivals
+are seeded (``numpy`` Generator), so a sweep is reproducible.
+
+Tenants round-robin over the arrival stream and all submit the same
+:class:`~repro.service.api.EngineCase`, which is deliberate: it makes
+the sweep double as the dedup proof — only the very first job builds
+the problem setup, every other tenant adopts it (counter-verified in
+the emitted metrics).
+
+:func:`run_load_sweep` returns per-load throughput and latency
+percentiles shaped for ``BENCH_service.json``
+(``repro-telemetry-bench-v1``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.service.api import AdmissionError, EngineCase, JobRequest
+from repro.service.scheduler import JobScheduler
+
+__all__ = ["LoadSweepConfig", "measure_service_time", "run_load_sweep",
+           "sweep_metrics"]
+
+
+@dataclass
+class LoadSweepConfig:
+    """One latency/throughput sweep."""
+
+    case: EngineCase = field(default_factory=EngineCase)
+    nsteps: int = 4
+    #: utilization factors ρ swept (≥3 for the benchmark contract)
+    offered_loads: tuple = (0.5, 1.0, 2.0)
+    jobs_per_load: int = 12
+    tenants: int = 4
+    slots: int = 2
+    seed: int = 2026
+    #: queue cap handed to the admission policy (seconds)
+    max_queue_seconds: float = 120.0
+
+
+async def measure_service_time(scheduler: JobScheduler,
+                               case: EngineCase, nsteps: int) -> float:
+    """Mean single-job wall seconds, from one calibration job.
+
+    Also warms the setup/plan/kernel caches and seeds the cost model
+    with a measured ``unit_seconds``, so admission estimates during
+    the sweep reflect this machine rather than the paper prior.
+    """
+    handle = await scheduler.submit(
+        JobRequest(tenant="calibration", case=case, nsteps=nsteps))
+    result = await handle.result()
+    if not result.ok:
+        raise RuntimeError(f"calibration job failed: {result.error}")
+    return result.timings["run_s"]
+
+
+async def _run_one_load(scheduler: JobScheduler, cfg: LoadSweepConfig,
+                        rho: float, service_time_s: float,
+                        rng: np.random.Generator) -> dict:
+    rate = rho * cfg.slots / max(service_time_s, 1e-9)
+    gaps = rng.exponential(1.0 / rate, size=cfg.jobs_per_load)
+    handles, rejected = [], 0
+    t0 = time.monotonic()
+    for i in range(cfg.jobs_per_load):
+        tenant = f"tenant-{i % cfg.tenants}"
+        try:
+            handles.append(await scheduler.submit(
+                JobRequest(tenant=tenant, case=cfg.case,
+                           nsteps=cfg.nsteps)))
+        except AdmissionError:
+            rejected += 1
+        await asyncio.sleep(float(gaps[i]))
+    results = await asyncio.gather(*(h.result() for h in handles))
+    elapsed = time.monotonic() - t0
+    done = [r for r in results if r.ok]
+    latencies = np.array([r.timings["total_s"] for r in done]) \
+        if done else np.array([0.0])
+    return {
+        "rho": rho,
+        "offered_rate_jobs_s": rate,
+        "submitted": cfg.jobs_per_load,
+        "admitted": len(handles),
+        "rejected": rejected,
+        "completed": len(done),
+        "throughput_jobs_s": len(done) / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_s": float(np.percentile(latencies, 50)),
+        "latency_p99_s": float(np.percentile(latencies, 99)),
+        "latency_mean_s": float(latencies.mean()),
+    }
+
+
+async def run_load_sweep(cfg: LoadSweepConfig, checkpoint_root) -> dict:
+    """Run the full sweep; returns ``{"points": [...], "service": {...}}``."""
+    from repro.service.admission import AdmissionPolicy
+
+    rng = np.random.default_rng(cfg.seed)
+    async with JobScheduler(
+            slots=cfg.slots, checkpoint_root=checkpoint_root,
+            policy=AdmissionPolicy(
+                max_queue_seconds=cfg.max_queue_seconds,
+                max_jobs_per_tenant=None)) as scheduler:
+        service_time_s = await measure_service_time(
+            scheduler, cfg.case, cfg.nsteps)
+        points = []
+        for rho in cfg.offered_loads:
+            points.append(await _run_one_load(
+                scheduler, cfg, rho, service_time_s, rng))
+        stats = scheduler.stats()
+    return {"service_time_s": service_time_s, "points": points,
+            "service": stats}
+
+
+def sweep_metrics(sweep: dict) -> dict:
+    """Flatten a sweep into ``bench_summary``-shaped metrics."""
+    metrics = {
+        "service_time": {"value": sweep["service_time_s"], "unit": "s"},
+    }
+    cache = sweep["service"]["setup_cache"]
+    metrics["setup_cache_hits"] = {"value": cache["hits"], "unit": "count"}
+    metrics["setup_cache_misses"] = {"value": cache["misses"],
+                                     "unit": "count"}
+    for point in sweep["points"]:
+        tag = f"rho_{point['rho']:g}".replace(".", "_")
+        metrics[f"{tag}_throughput"] = {
+            "value": point["throughput_jobs_s"], "unit": "jobs/s",
+            "offered_rate_jobs_s": point["offered_rate_jobs_s"],
+            "submitted": point["submitted"],
+            "admitted": point["admitted"],
+            "rejected": point["rejected"]}
+        metrics[f"{tag}_latency_p50"] = {
+            "value": point["latency_p50_s"], "unit": "s"}
+        metrics[f"{tag}_latency_p99"] = {
+            "value": point["latency_p99_s"], "unit": "s"}
+    return metrics

@@ -1,0 +1,371 @@
+"""Asyncio job scheduler: the service's multiplexing core.
+
+One event loop owns admission, queueing and progress streaming; a
+bounded thread pool (``slots`` workers) runs the actual coupled
+simulations, each through :func:`~repro.service.executor.execute_job`
+(segmented, checkpoint-backed, supervised). The split matters because
+a coupled run is seconds of blocking compute — it must never run on
+the loop — while everything clients observe (submission, progress
+events, results) stays single-threaded and race-free on the loop.
+
+Life of a request::
+
+    submit() ── consider() ──rejected──▶ AdmissionError
+        │admitted
+        ▼
+    PriorityQueue (priority, deadline, arrival)
+        │ worker dequeues
+        ├─ cancelled/suspended while queued ─▶ finalize fast
+        ├─ deadline expired while queued ────▶ FAILED("deadline-expired")
+        ▼
+    run_in_executor ─▶ execute_job ─▶ segments under run_resilient
+        │   progress marshalled onto the loop (call_soon_threadsafe)
+        ▼
+    JobResult (metrics + digest + timings + recovery telemetry)
+
+Deadline semantics: infeasible deadlines are rejected at admission,
+expired-but-queued jobs fail fast without burning a slot, and a job
+that is *already running* is never killed — its overrun is reported
+in ``timings["deadline_overrun_s"]`` instead, because a nearly done
+simulation is worth more delivered late than murdered on time.
+
+Graceful shutdown (:meth:`JobScheduler.shutdown`, also wired to
+SIGTERM/SIGINT by :meth:`install_signal_handlers`) suspends running
+jobs at their next segment boundary, marks queued jobs suspended
+untouched, and leaves every suspended job's newest committed
+checkpoint on disk — resubmitting the same ``job_id`` against the
+same checkpoint root resumes bitwise-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.resilience.supervisor import RecoveryPolicy
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.service.api import (
+    AdmissionError,
+    JobRequest,
+    JobResult,
+    JobStatus,
+    ProgressEvent,
+    ServiceError,
+    job_metrics,
+    result_digest,
+)
+from repro.service.cost import CostModel
+from repro.service.dedup import SetupCache
+from repro.service.executor import JobControl, execute_job, job_checkpoint_dir
+from repro.telemetry.recorder import RankRecorder
+
+__all__ = ["JobHandle", "JobScheduler"]
+
+
+class JobHandle:
+    """A client's view of one submitted job (loop-thread objects)."""
+
+    def __init__(self, request: JobRequest, job_id: str,
+                 decision: AdmissionDecision,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.request = request
+        self.job_id = job_id
+        self.decision = decision
+        self.status = JobStatus.QUEUED
+        self.control = JobControl()
+        self.submitted_t = time.monotonic()
+        self.events: asyncio.Queue = asyncio.Queue()
+        self._result: asyncio.Future = loop.create_future()
+        self._closed = False
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    async def result(self) -> JobResult:
+        """Wait for the terminal :class:`JobResult`."""
+        return await self._result
+
+    async def stream(self):
+        """Async-iterate progress events until the job terminates."""
+        while True:
+            event = await self.events.get()
+            if event is None:
+                return
+            yield event
+
+    def cancel(self) -> None:
+        """Request cancellation (honored at the next segment boundary)."""
+        self.control.cancel = True
+
+    def suspend(self) -> None:
+        """Request checkpoint-and-suspend (resume via same ``job_id``)."""
+        self.control.suspend = True
+
+    # -- scheduler-side plumbing (event-loop thread only) ----------------
+
+    def _emit(self, kind: str, step: int, detail: dict) -> None:
+        if self._closed:
+            return
+        self.events.put_nowait(ProgressEvent(
+            job_id=self.job_id, tenant=self.tenant, kind=kind, step=step,
+            nsteps=self.request.nsteps,
+            t=time.monotonic() - self.submitted_t, detail=detail))
+
+    def _finish(self, result: JobResult) -> None:
+        self.status = result.status
+        if not self._result.done():
+            self._result.set_result(result)
+        if not self._closed:
+            self._closed = True
+            self.events.put_nowait(None)
+
+
+def _sentinel_priority(i: int) -> tuple:
+    """A queue priority that sorts after every real job; ``i`` keeps
+    sentinel entries totally ordered so heapq never compares payloads."""
+    return (math.inf, math.inf, float(i))
+
+
+class JobScheduler:
+    """Admission-controlled multi-tenant scheduler over worker slots.
+
+    Single-process by design: all tenants share one process-wide plan
+    cache, compiled-kernel cache and :class:`SetupCache`, which is
+    exactly what makes the second identical case ~free.
+    """
+
+    def __init__(self, *, slots: int = 2,
+                 checkpoint_root,
+                 policy: AdmissionPolicy | None = None,
+                 cost: CostModel | None = None,
+                 recovery: RecoveryPolicy | None = None,
+                 checkpoint_every: int = 2,
+                 segment_steps: int | None = None,
+                 run_overrides: dict | None = None) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 — suspension "
+                             "needs committed checkpoints")
+        self.slots = slots
+        self.checkpoint_root = checkpoint_root
+        self.recovery = recovery or RecoveryPolicy(backoff_base=0.0)
+        self.checkpoint_every = checkpoint_every
+        self.segment_steps = segment_steps or 2 * checkpoint_every
+        #: extra CoupledRunConfig fields applied to every job
+        self.run_overrides = dict(run_overrides or {})
+        self.recorder = RankRecorder(rank=0)
+        self.setup_cache = SetupCache(recorder=self.recorder)
+        self.admission = AdmissionController(slots, policy, cost)
+        self.jobs: dict[str, JobHandle] = {}
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._workers: list[asyncio.Task] = []
+        self._pool: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._seq = 0
+        self._accepting = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._workers:
+            raise ServiceError("scheduler already started")
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.slots, thread_name_prefix="repro-service")
+        self._accepting = True
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"service-worker-{i}")
+            for i in range(self.slots)]
+
+    async def __aenter__(self) -> "JobScheduler":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    def install_signal_handlers(self,
+                                signals=(signal.SIGTERM,
+                                         signal.SIGINT)) -> None:
+        """SIGTERM/SIGINT trigger one graceful checkpoint-and-suspend."""
+        loop = self._loop or asyncio.get_running_loop()
+
+        def _handler() -> None:
+            if self._accepting:
+                asyncio.ensure_future(self.shutdown(), loop=loop)
+
+        for sig in signals:
+            loop.add_signal_handler(sig, _handler)
+
+    async def shutdown(self, *, cancel: bool = False) -> None:
+        """Stop accepting work and wind down.
+
+        Graceful (default): every non-terminal job is asked to
+        suspend — running jobs stop at their next committed segment
+        boundary, queued jobs are marked suspended without running.
+        With ``cancel=True`` jobs are cancelled instead. Either way
+        checkpoints already on disk stay there.
+        """
+        if not self._workers:
+            return
+        self._accepting = False
+        for handle in self.jobs.values():
+            if not handle.status.terminal:
+                (handle.cancel if cancel else handle.suspend)()
+        for i in range(len(self._workers)):
+            self._queue.put_nowait((_sentinel_priority(i), None))
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- submission ------------------------------------------------------
+
+    async def submit(self, request: JobRequest) -> JobHandle:
+        """Admit (or reject, raising :class:`AdmissionError`) and queue."""
+        if not self._accepting:
+            raise ServiceError("scheduler is not accepting jobs "
+                               "(not started, or shutting down)")
+        request.validate()
+        self.recorder.counter("service.jobs.submitted")
+        decision = self.admission.consider(request)
+        if not decision.admitted:
+            self.recorder.counter("service.jobs.rejected")
+            self.recorder.counter(f"service.rejects.{decision.reason}")
+            raise AdmissionError(decision.reason, decision.detail)
+        self._seq += 1
+        job_id = request.job_id or f"{request.tenant}-{self._seq:04d}"
+        handle = JobHandle(request, job_id, decision, self._loop)
+        self.jobs[job_id] = handle
+        deadline_key = (request.deadline_s if request.deadline_s is not None
+                        else math.inf)
+        self._queue.put_nowait(
+            ((request.priority, deadline_key, self._seq), handle))
+        handle._emit("queued", 0, {
+            "estimated_run_s": decision.estimated_run_s,
+            "estimated_wait_s": decision.estimated_wait_s})
+        return handle
+
+    # -- worker side -----------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            _, handle = await self._queue.get()
+            if handle is None:
+                return
+            await self._dispatch(handle)
+
+    async def _dispatch(self, handle: JobHandle) -> None:
+        request = handle.request
+        queued_s = time.monotonic() - handle.submitted_t
+        if handle.control.cancel:
+            self._finalize(handle, JobStatus.CANCELLED, queued_s, 0.0)
+            return
+        if handle.control.suspend:
+            self._finalize(handle, JobStatus.SUSPENDED, queued_s, 0.0)
+            return
+        if (request.deadline_s is not None
+                and queued_s > request.deadline_s):
+            self._finalize(handle, JobStatus.FAILED, queued_s, 0.0,
+                           error=f"deadline-expired: spent {queued_s:.1f}s "
+                                 f"queued, deadline was "
+                                 f"{request.deadline_s:.1f}s")
+            return
+        handle.status = JobStatus.RUNNING
+        try:
+            outcome = await self._loop.run_in_executor(
+                self._pool, self._run_in_thread, handle)
+        except Exception as exc:  # non-recoverable / budget exhausted
+            self._finalize(handle, JobStatus.FAILED, queued_s, 0.0,
+                           error=f"{type(exc).__name__}: {exc}")
+            return
+        status = {"completed": JobStatus.COMPLETED,
+                  "suspended": JobStatus.SUSPENDED,
+                  "cancelled": JobStatus.CANCELLED}[outcome.kind]
+        self._finalize(handle, status, queued_s, outcome.run_seconds,
+                       outcome=outcome)
+
+    def _run_in_thread(self, handle: JobHandle):
+        """Blocking job body — worker thread, not the event loop."""
+        request = handle.request
+        cfg = request.case.run_config(
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_dir=job_checkpoint_dir(
+                self.checkpoint_root, request.tenant, handle.job_id),
+            fault_plan=request.fault_plan,
+            **self.run_overrides)
+
+        def progress(kind: str, step: int, detail: dict) -> None:
+            self._loop.call_soon_threadsafe(handle._emit, kind, step, detail)
+
+        return execute_job(
+            request, cfg, segment_steps=self.segment_steps,
+            policy=self.recovery,
+            driver_factory=self.setup_cache.driver_factory(),
+            control=handle.control, progress=progress)
+
+    def _finalize(self, handle: JobHandle, status: JobStatus,
+                  queued_s: float, run_s: float, *,
+                  outcome=None, error: str | None = None) -> None:
+        request = handle.request
+        total_s = time.monotonic() - handle.submitted_t
+        timings = {"queued_s": queued_s, "run_s": run_s, "total_s": total_s}
+        if (request.deadline_s is not None
+                and status is JobStatus.COMPLETED
+                and total_s > request.deadline_s):
+            timings["deadline_overrun_s"] = total_s - request.deadline_s
+        result = JobResult(
+            job_id=handle.job_id, tenant=handle.tenant, status=status,
+            nsteps=request.nsteps,
+            case_fingerprint=request.case.fingerprint(),
+            timings=timings, error=error)
+        if outcome is not None:
+            timings["last_step"] = outcome.step
+            timings["resumed_from"] = outcome.resumed_from
+            result.recovery = outcome.recovery
+            if outcome.result is not None:
+                result.metrics = job_metrics(outcome.result)
+                result.digest = result_digest(outcome.result)
+        self.recorder.counter(f"service.jobs.{status.value}")
+        if result.recovery.get("recoveries"):
+            self.recorder.counter("service.jobs.recoveries",
+                                  result.recovery["recoveries"])
+        self.admission.release(
+            request, handle.decision,
+            measured_run_s=run_s if status is JobStatus.COMPLETED else None)
+        handle._emit(status.value, timings.get("last_step", 0), {})
+        handle._finish(result)
+
+    # -- introspection ---------------------------------------------------
+
+    def metrics_doc(self, meta: dict | None = None) -> dict:
+        """A ``repro-telemetry-metrics-v1`` doc of the service's own
+        telemetry: job counters plus the cache hit/miss evidence."""
+        from repro.telemetry.metrics import metrics_summary
+        from repro.telemetry.timeline import merge_timelines
+
+        info = {"service": {"slots": self.slots,
+                            "unit_seconds": self.admission.cost.unit_seconds,
+                            **self.setup_cache.stats.as_dict()}}
+        info.update(meta or {})
+        return metrics_summary(merge_timelines([self.recorder]), meta=info)
+
+    def stats(self) -> dict:
+        """Live operational snapshot (for `serve` status lines)."""
+        by_status: dict[str, int] = {}
+        for handle in self.jobs.values():
+            key = handle.status.value
+            by_status[key] = by_status.get(key, 0) + 1
+        return {"jobs": by_status,
+                "queued": self._queue.qsize(),
+                "backlog_seconds": self.admission.backlog_seconds,
+                "setup_cache": self.setup_cache.stats.as_dict(),
+                "unit_seconds": self.admission.cost.unit_seconds}

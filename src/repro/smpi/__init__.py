@@ -31,10 +31,12 @@ from repro.smpi.schedule import DeterministicScheduler, ScheduleRun, sweep_sched
 from repro.smpi.traffic import Traffic, TrafficRecord
 from repro.smpi.transport import (
     TRANSPORTS,
+    WATCHDOG_ENV,
     ProcessComm,
     default_transport,
     resolve_transport,
     run_ranks_process,
+    watchdog_seconds,
 )
 
 __all__ = [
@@ -54,6 +56,7 @@ __all__ = [
     "SimComm",
     "SimMPIError",
     "TRANSPORTS",
+    "WATCHDOG_ENV",
     "Traffic",
     "TrafficRecord",
     "TransportError",
@@ -66,4 +69,5 @@ __all__ = [
     "run_ranks_process",
     "sweep_schedules",
     "waitall",
+    "watchdog_seconds",
 ]

@@ -605,12 +605,18 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
               traffic: Traffic | None = None,
               scheduler: "DeterministicScheduler | None" = None,
               fault_plan: "FaultPlan | None" = None,
-              transport: str | None = None) -> list[Any]:
+              transport: str | None = None,
+              watchdog_s: float | None = None) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` cooperating ranks.
 
     Returns each rank's return value, ordered by rank. If any rank
     raises, the whole run is aborted (barriers broken, mailbox waits
     poisoned) and the first failure is re-raised.
+
+    ``watchdog_s`` tunes the process transport's hung-child deadline
+    (default ``$REPRO_SMPI_WATCHDOG_S``, else ``2 * timeout``); the
+    threaded transport ignores it — its wait-for-graph detector
+    reports genuine deadlocks directly.
 
     ``transport`` selects how ranks execute (default: the
     ``REPRO_SMPI_TRANSPORT`` environment variable, else ``"thread"``):
@@ -647,7 +653,7 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
                 f"fault injection require transport='thread'"
             )
         return run_ranks_process(nranks, fn, args=args, timeout=timeout,
-                                 traffic=traffic)
+                                 traffic=traffic, watchdog_s=watchdog_s)
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     traffic = traffic if traffic is not None else Traffic()

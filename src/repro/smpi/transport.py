@@ -66,6 +66,14 @@ TRANSPORT_ENV = "REPRO_SMPI_TRANSPORT"
 #: ``multiprocessing.shared_memory`` instead of pickle-through-pipe.
 SHM_MIN_ENV = "REPRO_SMPI_SHM_MIN"
 
+#: Environment variable overriding the hung-child watchdog deadline
+#: (seconds). The watchdog is how long the parent waits for every rank
+#: process to report before declaring the stragglers hung; the default
+#: is ``2 * timeout``. Long coupled jobs under a loaded machine can
+#: legitimately outlive that — a service raises this instead of having
+#: healthy children falsely reaped.
+WATCHDOG_ENV = "REPRO_SMPI_WATCHDOG_S"
+
 _DEFAULT_SHM_MIN = 64 * 1024
 
 #: Transports :func:`resolve_transport` accepts.
@@ -102,6 +110,28 @@ def shm_threshold() -> int:
         return int(os.environ.get(SHM_MIN_ENV, _DEFAULT_SHM_MIN))
     except ValueError:
         return _DEFAULT_SHM_MIN
+
+
+def watchdog_seconds(timeout: float,
+                     watchdog_s: float | None = None) -> float:
+    """Resolve the hung-child watchdog deadline for one run.
+
+    Precedence: explicit ``watchdog_s`` kwarg, then the
+    :data:`WATCHDOG_ENV` environment variable, then ``2 * timeout``
+    (the historical hard-coded factor). Values must be positive;
+    unparsable or non-positive settings fall back to the default.
+    """
+    if watchdog_s is not None and watchdog_s > 0:
+        return float(watchdog_s)
+    env = os.environ.get(WATCHDOG_ENV)
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            value = 0.0
+        if value > 0:
+            return value
+    return timeout * 2
 
 
 # ---------------------------------------------------------------------------
@@ -577,7 +607,8 @@ def _drain_queues(queues: Sequence[Any]) -> None:
 
 def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
                       timeout: float = 120.0,
-                      traffic: Traffic | None = None) -> list[Any]:
+                      traffic: Traffic | None = None,
+                      watchdog_s: float | None = None) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` forked OS processes.
 
     The process-transport twin of :func:`repro.smpi.comm.run_ranks`:
@@ -586,6 +617,11 @@ def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
     but ranks execute with true multi-core parallelism. ``fork`` is
     required — test suites pass closures over mesh data, which spawn
     could not pickle — so this transport is POSIX-only.
+
+    ``watchdog_s`` bounds how long the parent waits for all ranks to
+    report before declaring the stragglers hung (default
+    ``$REPRO_SMPI_WATCHDOG_S``, else ``2 * timeout``); see
+    :func:`watchdog_seconds`.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -615,7 +651,8 @@ def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
             child.close()
         conn_rank = {pipes[r][0]: r for r in range(nranks)}
         pending = set(range(nranks))
-        deadline = time.monotonic() + timeout * 2
+        watchdog = watchdog_seconds(timeout, watchdog_s)
+        deadline = time.monotonic() + watchdog
 
         def _collect(until: float) -> None:
             while pending and time.monotonic() < until:
@@ -675,9 +712,9 @@ def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
                 f"(exitcode {code})")))
         elif status == "hung":
             failures.append((r, SimMPIError(
-                f"rank {r} failed to terminate within {timeout * 2:.1f}s — "
-                f"deadlock? (process transport has no wait-for-graph "
-                f"detector)")))
+                f"rank {r} failed to terminate within the {watchdog:.1f}s "
+                f"watchdog (${WATCHDOG_ENV} / watchdog_s) — deadlock? "
+                f"(process transport has no wait-for-graph detector)")))
     if failures:
         failures.sort(key=lambda pair: pair[0])
         raise failures[0][1]

@@ -4,8 +4,10 @@ Two small JSON schemas, both versioned by a ``schema`` tag:
 
 * ``repro-telemetry-metrics-v1`` — one run's merged telemetry: span
   counts, counters, per-category seconds, the paper-style
-  compute/halo/coupler breakdown, per-kernel aggregates, and (when
-  supplied) the smpi traffic ledger's per-phase message/byte totals.
+  compute/halo/coupler breakdown, per-kernel aggregates, structured
+  cache hit/miss accounting (plan cache, compiled-kernel cache, the
+  service setup cache), and (when supplied) the smpi traffic ledger's
+  per-phase message/byte totals.
 * ``repro-telemetry-bench-v1`` — one benchmark module's results
   (``benchmarks/out/BENCH_<name>.json``), a flat name → measurement map
   so perf trajectories can be diffed across commits.
@@ -20,6 +22,38 @@ import time
 METRICS_SCHEMA = "repro-telemetry-metrics-v1"
 BENCH_SCHEMA = "repro-telemetry-bench-v1"
 
+#: cache name -> outcome field -> counter key. The structured
+#: ``caches`` section of a metrics doc is distilled from these raw
+#: counters so dedup/reuse claims (plan cache, compiled-kernel cache,
+#: the service layer's shared problem-setup cache) are verifiable from
+#: the summary alone instead of requiring span archaeology.
+CACHE_COUNTER_MAP = {
+    "plan": {
+        "hits": ("op2.plan.cache_hit",),
+        "misses": ("op2.plan.build",),
+    },
+    "kernel": {
+        "hits": ("op2.native.cache_hit_mem", "op2.native.cache_hit_disk"),
+        "misses": ("op2.native.compile",),
+        "corrupt": ("op2.native.cache_corrupt",),
+    },
+    "setup": {
+        "hits": ("service.setup.hit",),
+        "misses": ("service.setup.miss",),
+    },
+}
+
+
+def cache_summary(counters) -> dict:
+    """Structured hit/miss accounting per cache, from raw counters."""
+    return {
+        cache: {
+            outcome: float(sum(counters.get(key, 0.0) for key in keys))
+            for outcome, keys in fields.items()
+        }
+        for cache, fields in CACHE_COUNTER_MAP.items()
+    }
+
 
 def metrics_summary(timeline, traffic=None, meta=None) -> dict:
     """Render a Timeline (plus optional Traffic ledger) as a metrics doc."""
@@ -30,6 +64,7 @@ def metrics_summary(timeline, traffic=None, meta=None) -> dict:
         "ranks": list(timeline.ranks),
         "span_count": len(timeline.spans),
         "counters": dict(timeline.counters),
+        "caches": cache_summary(timeline.counters),
         "categories": timeline.by_category(),
         "breakdown": timeline.breakdown(),
         "kernels": {
@@ -57,9 +92,17 @@ def validate_metrics(doc) -> None:
     if doc.get("schema") != METRICS_SCHEMA:
         raise ValueError(f"expected schema {METRICS_SCHEMA!r}, "
                          f"got {doc.get('schema')!r}")
-    for key in ("breakdown", "categories", "kernels", "counters"):
+    for key in ("breakdown", "categories", "kernels", "counters", "caches"):
         if not isinstance(doc.get(key), dict):
             raise ValueError(f"metrics doc missing object field {key!r}")
+    for cache, fields in doc["caches"].items():
+        if not isinstance(fields, dict):
+            raise ValueError(f"caches[{cache!r}] must be an object")
+        for outcome in ("hits", "misses"):
+            v = fields.get(outcome)
+            if not isinstance(v, (int, float)) or v < 0:
+                raise ValueError(
+                    f"caches[{cache!r}][{outcome!r}] must be >= 0")
     bd = doc["breakdown"]
     for bucket in ("compute", "halo", "coupler"):
         v = bd.get(bucket)

@@ -1,0 +1,211 @@
+"""Graceful shutdown, suspend/resume, cancellation — bitwise proofs.
+
+The contract under test: stopping a job — client suspend, scheduler
+shutdown, SIGTERM — always leaves its newest committed checkpoint on
+disk, and resuming (resubmit with the same ``job_id`` against the
+same checkpoint root) produces a result bitwise-identical to a job
+that was never interrupted. Digest equality is the proof.
+"""
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.service import (
+    EngineCase,
+    JobControl,
+    JobRequest,
+    JobScheduler,
+    JobStatus,
+    ServiceError,
+    execute_job,
+    job_checkpoint_dir,
+    result_digest,
+)
+
+CASE = EngineCase()
+NSTEPS = 12
+
+
+def _req(job_id, tenant="acme", nsteps=NSTEPS):
+    return JobRequest(tenant=tenant, case=CASE, nsteps=nsteps,
+                      job_id=job_id)
+
+
+@pytest.fixture(scope="module")
+def reference_digest(tmp_path_factory):
+    """Digest of the uninterrupted NSTEPS-step run of CASE."""
+    root = tmp_path_factory.mktemp("ref")
+
+    async def run():
+        async with JobScheduler(slots=1, checkpoint_root=root) as sched:
+            return await (await sched.submit(_req("ref"))).result()
+
+    result = asyncio.run(run())
+    assert result.ok
+    return result.digest
+
+
+async def _resume(root, job_id, tenant="acme", nsteps=NSTEPS):
+    async with JobScheduler(slots=1, checkpoint_root=root) as sched:
+        return await (await sched.submit(
+            _req(job_id, tenant=tenant, nsteps=nsteps))).result()
+
+
+class TestExecutorSuspendSweep:
+    """Deterministic suspend points: the progress callback runs
+    synchronously in the executing thread, so flipping the suspend
+    flag at step k guarantees the stop lands at the next boundary."""
+
+    @pytest.mark.parametrize("suspend_at", [4, 8])
+    def test_suspend_then_resume_is_bitwise(self, tmp_path, suspend_at):
+        request = _req("sweep")
+        ckpt = job_checkpoint_dir(tmp_path, "acme", "sweep")
+        cfg = request.case.run_config(checkpoint_every=2,
+                                      checkpoint_dir=ckpt)
+        control = JobControl()
+
+        def suspend_at_step(kind, step, detail):
+            if kind == "progress" and step >= suspend_at:
+                control.suspend = True
+
+        first = execute_job(request, cfg, segment_steps=4,
+                            control=control, progress=suspend_at_step)
+        assert first.kind == "suspended"
+        assert first.step == suspend_at
+
+        second = execute_job(request, cfg, segment_steps=4)
+        assert second.kind == "completed"
+        assert second.resumed_from == suspend_at
+        undisturbed = execute_job(
+            _req("straight"),
+            request.case.run_config(
+                checkpoint_every=2,
+                checkpoint_dir=job_checkpoint_dir(
+                    tmp_path, "acme", "straight")),
+            segment_steps=4)
+        assert (result_digest(second.result)
+                == result_digest(undisturbed.result))
+
+    def test_cancel_wins_over_suspend(self, tmp_path):
+        request = _req("both")
+        cfg = request.case.run_config(
+            checkpoint_every=2,
+            checkpoint_dir=job_checkpoint_dir(tmp_path, "acme", "both"))
+        control = JobControl()
+        control.cancel = True
+        control.suspend = True
+        outcome = execute_job(request, cfg, segment_steps=4,
+                              control=control)
+        assert outcome.kind == "cancelled"
+
+    def test_misaligned_segments_rejected(self, tmp_path):
+        request = _req("bad")
+        cfg = request.case.run_config(
+            checkpoint_every=4,
+            checkpoint_dir=job_checkpoint_dir(tmp_path, "acme", "bad"))
+        with pytest.raises(ValueError, match="multiple"):
+            execute_job(request, cfg, segment_steps=6)
+
+
+class TestSchedulerSuspendResume:
+    def test_client_suspend_then_resume_bitwise(self, tmp_path,
+                                                reference_digest):
+        async def run():
+            async with JobScheduler(slots=1,
+                                    checkpoint_root=tmp_path) as sched:
+                handle = await sched.submit(_req("job-a"))
+                async for event in handle.stream():
+                    if event.kind == "progress":
+                        handle.suspend()
+                        break
+                return await handle.result()
+
+        suspended = asyncio.run(run())
+        assert suspended.status is JobStatus.SUSPENDED
+        assert suspended.timings["last_step"] < NSTEPS
+
+        resumed = asyncio.run(_resume(tmp_path, "job-a"))
+        assert resumed.ok
+        assert resumed.timings["resumed_from"] >= suspended.timings[
+            "last_step"]
+        assert resumed.digest == reference_digest
+
+    def test_graceful_shutdown_suspends_running_and_queued(
+            self, tmp_path, reference_digest):
+        async def run():
+            sched = JobScheduler(slots=1, checkpoint_root=tmp_path)
+            await sched.start()
+            running = await sched.submit(_req("run-a"))
+            queued = await sched.submit(_req("que-b", tenant="zenith"))
+            async for event in running.stream():
+                if event.kind == "started":
+                    break
+            await sched.shutdown()
+            with pytest.raises(ServiceError, match="not accepting"):
+                await sched.submit(_req("late"))
+            return await running.result(), await queued.result()
+
+        ran, never_ran = asyncio.run(run())
+        assert ran.status is JobStatus.SUSPENDED
+        assert never_ran.status is JobStatus.SUSPENDED
+        assert never_ran.timings["run_s"] == 0.0
+
+        for job_id, tenant in (("run-a", "acme"), ("que-b", "zenith")):
+            resumed = asyncio.run(_resume(tmp_path, job_id, tenant=tenant))
+            assert resumed.ok
+            assert resumed.digest == reference_digest
+
+    def test_sigterm_triggers_checkpoint_and_suspend(self, tmp_path,
+                                                     reference_digest):
+        async def run():
+            async with JobScheduler(slots=1,
+                                    checkpoint_root=tmp_path) as sched:
+                sched.install_signal_handlers()
+                handle = await sched.submit(_req("term-a"))
+                async for event in handle.stream():
+                    if event.kind == "started":
+                        break
+                os.kill(os.getpid(), signal.SIGTERM)
+                return await handle.result()
+
+        suspended = asyncio.run(run())
+        assert suspended.status is JobStatus.SUSPENDED
+
+        resumed = asyncio.run(_resume(tmp_path, "term-a"))
+        assert resumed.ok
+        assert resumed.digest == reference_digest
+
+    def test_shutdown_cancel_mode_cancels_jobs(self, tmp_path):
+        async def run():
+            sched = JobScheduler(slots=1, checkpoint_root=tmp_path)
+            await sched.start()
+            handle = await sched.submit(_req("kill-a"))
+            async for event in handle.stream():
+                if event.kind == "started":
+                    break
+            await sched.shutdown(cancel=True)
+            return await handle.result()
+
+        result = asyncio.run(run())
+        assert result.status is JobStatus.CANCELLED
+
+    def test_cancel_queued_job_never_runs(self, tmp_path):
+        async def run():
+            async with JobScheduler(slots=1,
+                                    checkpoint_root=tmp_path) as sched:
+                hog = await sched.submit(_req("hog"))
+                await asyncio.sleep(0.05)
+                victim = await sched.submit(
+                    _req("victim", tenant="zenith"))
+                victim.cancel()
+                result = await victim.result()
+                await hog.result()
+                return result
+
+        result = asyncio.run(run())
+        assert result.status is JobStatus.CANCELLED
+        assert result.timings["run_s"] == 0.0
+        assert not result.metrics

@@ -1,0 +1,78 @@
+"""Regression tests for the configurable process-transport watchdog.
+
+The hung-child deadline used to be hard-coded at ``2 * timeout``;
+long coupled jobs driven under load (the service layer multiplexes
+many runs over few cores) could be falsely reaped. The deadline is now
+resolved per run: explicit ``watchdog_s`` kwarg, then the
+``REPRO_SMPI_WATCHDOG_S`` environment variable, then the historical
+``2 * timeout`` default.
+"""
+
+import time
+
+import pytest
+
+from repro.smpi import WATCHDOG_ENV, SimMPIError, run_ranks, watchdog_seconds
+
+
+class TestWatchdogResolution:
+    def test_default_is_twice_timeout(self, monkeypatch):
+        monkeypatch.delenv(WATCHDOG_ENV, raising=False)
+        assert watchdog_seconds(10.0) == 20.0
+        assert watchdog_seconds(300.0) == 600.0
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(WATCHDOG_ENV, "7.5")
+        assert watchdog_seconds(10.0) == 7.5
+
+    def test_kwarg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(WATCHDOG_ENV, "7.5")
+        assert watchdog_seconds(10.0, watchdog_s=3.0) == 3.0
+
+    def test_bad_values_fall_back(self, monkeypatch):
+        monkeypatch.setenv(WATCHDOG_ENV, "not-a-number")
+        assert watchdog_seconds(10.0) == 20.0
+        monkeypatch.setenv(WATCHDOG_ENV, "-5")
+        assert watchdog_seconds(10.0) == 20.0
+        monkeypatch.delenv(WATCHDOG_ENV, raising=False)
+        assert watchdog_seconds(10.0, watchdog_s=0.0) == 20.0
+
+
+def _hang_rank1(comm):
+    if comm.rank == 1:
+        time.sleep(8.0)
+    return comm.rank
+
+
+def test_watchdog_kwarg_reaps_hung_child_fast():
+    """A 1s watchdog reaps a wedged rank long before ``2 * timeout``.
+
+    With the historical hard-coding this run would sit for 120s
+    (timeout=60) before reporting; the kwarg brings that down to the
+    watchdog plus the abort grace period.
+    """
+    t0 = time.monotonic()
+    with pytest.raises(SimMPIError, match="watchdog"):
+        run_ranks(2, _hang_rank1, timeout=60.0, transport="process",
+                  watchdog_s=1.0)
+    assert time.monotonic() - t0 < 30.0
+
+
+def test_watchdog_env_respected(monkeypatch):
+    monkeypatch.setenv(WATCHDOG_ENV, "1.0")
+    t0 = time.monotonic()
+    with pytest.raises(SimMPIError, match="watchdog"):
+        run_ranks(2, _hang_rank1, timeout=60.0, transport="process")
+    assert time.monotonic() - t0 < 30.0
+
+
+def test_watchdog_does_not_reap_healthy_slow_ranks():
+    """Ranks that finish inside the watchdog are never declared hung."""
+
+    def slowish(comm):
+        time.sleep(0.3)
+        return comm.rank * 10
+
+    out = run_ranks(2, slowish, timeout=5.0, transport="process",
+                    watchdog_s=30.0)
+    assert out == [0, 10]

@@ -298,6 +298,37 @@ class TestMetricsExport:
         with pytest.raises(ValueError):
             validate_metrics(doc)
 
+    def test_cache_counters_surface_in_caches_section(self):
+        """Plan/kernel/setup cache hit-miss counters land in ``caches``
+        as structured fields, not just raw counter names (the service's
+        dedup claims are counter-verified through this section)."""
+        rec = RankRecorder(rank=0)
+        rec.counter("op2.plan.cache_hit", 4)
+        rec.counter("op2.plan.build", 2)
+        rec.counter("op2.native.cache_hit_mem", 3)
+        rec.counter("op2.native.cache_hit_disk", 1)
+        rec.counter("op2.native.compile", 5)
+        rec.counter("service.setup.hit", 7)
+        rec.counter("service.setup.miss", 1)
+        doc = metrics_summary(merge_timelines([rec]))
+        validate_metrics(doc)
+        assert doc["caches"]["plan"] == {"hits": 4.0, "misses": 2.0}
+        assert doc["caches"]["kernel"]["hits"] == 4.0
+        assert doc["caches"]["kernel"]["misses"] == 5.0
+        assert doc["caches"]["setup"] == {"hits": 7.0, "misses": 1.0}
+
+    def test_caches_section_required_and_checked(self):
+        doc = metrics_summary(self._timeline())
+        assert doc["caches"]["plan"] == {"hits": 0.0, "misses": 0.0}
+        bad = dict(doc)
+        del bad["caches"]
+        with pytest.raises(ValueError, match="caches"):
+            validate_metrics(bad)
+        bad = metrics_summary(self._timeline())
+        bad["caches"]["plan"]["hits"] = -1
+        with pytest.raises(ValueError, match="caches"):
+            validate_metrics(bad)
+
     def test_bench_summary_write(self, tmp_path):
         path = write_bench_summary(
             tmp_path, "unit", {"t_step": {"value": 0.01, "unit": "s"}},
