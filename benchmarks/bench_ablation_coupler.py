@@ -1,16 +1,26 @@
-"""Ablation — coupler design choices: ADT crossover, partitioner choice.
+"""Ablation — coupler design choices: ADT crossover, partitioner choice,
+fast-path stages.
 
 * ADT vs brute force as a function of interface size (where does the
   tree pay for its build cost?);
 * partitioner quality (RCB vs greedy graph vs slabs) on a row mesh:
   edge-cut drives halo traffic, interface-node spread drives the
-  monolithic trap.
+  monolithic trap;
+* fast-path stages on a full coupled run: legacy per-point transfer →
+  batched interpolation → batched + incremental donor cache, isolating
+  which stage buys which share of the serve-compute win
+  (``bench_coupler_fastpath.py`` holds the acceptance-bar asserts).
 """
+
+import dataclasses
 
 import numpy as np
 import pytest
 
+from repro.coupler import CoupledDriver, CoupledRunConfig
 from repro.coupler.search import ADTSearch, BruteForceSearch
+from repro.hydra import FlowState, Numerics
+from repro.mesh import rig250_config
 from repro.mesh import (
     RowConfig,
     RowKind,
@@ -101,3 +111,38 @@ def test_report_partitioner_choice(report, benchmark):
     assert slab_ranks <= 2
     benchmark.pedantic(partition_rcb, args=(mesh.coords, 8), rounds=3,
                        iterations=1)
+
+
+def test_report_fastpath_stage_ablation(report, benchmark):
+    """Which fast-path stage buys what: batch interp vs donor cache."""
+    cfg = CoupledRunConfig(
+        rig=rig250_config(nr=3, nt=48, nx=4, rows=2,
+                          steps_per_revolution=96),
+        ranks_per_row=1, cus_per_interface=1,
+        numerics=Numerics(inner_iters=2),
+        inlet=FlowState(ux=0.5), p_out=1.0)
+    stages = [
+        ("legacy per-point", dict(fastpath=False)),
+        ("batched interp", dict(incremental=False)),
+        ("batched + incremental", dict()),
+    ]
+    rows = []
+    base = None
+    for name, overrides in stages:
+        result = CoupledDriver(dataclasses.replace(cfg, **overrides)).run(5)
+        t = sum(cu["serve_compute_seconds"] for cu in result.cus)
+        stats = result.total_search_stats()
+        if base is None:
+            base = t
+        rows.append([name, t, base / t, stats.comparisons,
+                     stats.cache_hits])
+    report(format_table(
+        ["stage", "serve compute [s]", "speedup", "comparisons",
+         "donor cache hits"],
+        rows, title="coupler fast-path stage ablation "
+                    "(coupled run, 5 steps, nt=48)", floatfmt=".3g"))
+    # each stage must not regress the one before it on search effort
+    assert rows[2][3] < rows[1][3], "donor cache must cut comparisons"
+    assert rows[2][4] > 0
+    benchmark.pedantic(
+        lambda: CoupledDriver(cfg).run(2), rounds=1, iterations=1)

@@ -1,0 +1,217 @@
+"""Coupler fast path — incremental donor search + batched interpolation.
+
+Three measured layers on the Table II interface (12x256, 3072 donor
+quads) and the coupled mini-Rig250:
+
+* **search effort** — comparisons per round: from-scratch ADT every
+  round vs the incremental donor cache (re-validate, re-search only
+  evicted targets). The acceptance bar is a counter-verified >= 5x
+  reduction after the first round.
+* **transfer throughput** — rounds/s of the legacy per-point procedure
+  (:func:`cu_transfer`: windowed search rebuilt per round, python
+  interpolation loop) vs the batched engine vs batched + incremental.
+* **coupled-run wall** — ``serve_compute_seconds`` (search + interp +
+  scatter, receive-wait excluded) of a coupled run with the fast path
+  on vs off; the acceptance bar is >= 2x. Plus the interp-mode
+  ablation (bilinear vs conservative biquadratic) with its per-round
+  interface conservation error.
+
+Writes ``benchmarks/out/BENCH_coupler_fastpath.json`` (telemetry bench
+schema).
+"""
+
+import pathlib
+import time
+
+import numpy as np
+
+from repro.coupler import CoupledDriver, CoupledRunConfig
+from repro.coupler.interface import SideGeometry, SlidingInterface
+from repro.coupler.search import IncrementalSearch, make_search
+from repro.coupler.unit import CUTransferEngine, cu_transfer
+from repro.hydra import FlowState, Numerics
+from repro.hydra.gas import conserved
+from repro.mesh import rig250_config
+from repro.telemetry import write_bench_summary
+from repro.util.tables import format_table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+NR, NT = 12, 256          # Table II interface: 3072 donor quads
+L = 16.0
+ROUNDS = 24
+#: per-round sliding of the targets relative to the donors, as used by
+#: the throughput + effort sweeps: 0.1 donor pitches per round — the
+#: resolved-rotation regime a coupled run operates in (many time steps
+#: per blade passage), where most cached donors stay valid round over
+#: round. The relative frame speed is 0.4, so dt = 0.1*(L/NT)/0.4.
+DT = 0.1 * (L / NT) / 0.4
+
+
+def make_interface():
+    dy = L / NT
+    y = np.tile(dy * np.arange(NT), NR)
+    z = np.repeat(np.linspace(2.0, 3.0, NR), NT)
+    up = SideGeometry(grid_shape=(NR, NT), y=y, z=z, circumference=L,
+                      frame_velocity=0.0)
+    down = SideGeometry(grid_shape=(NR, NT), y=y.copy(), z=z.copy(),
+                        circumference=L, frame_velocity=0.4)
+    return SlidingInterface(name="bench", up=up, down=down)
+
+
+def coupled_cfg(**kw):
+    base = dict(
+        rig=rig250_config(nr=3, nt=64, nx=4, rows=2,
+                          steps_per_revolution=96),
+        ranks_per_row=1, cus_per_interface=1,
+        numerics=Numerics(inner_iters=2),
+        inlet=FlowState(ux=0.5), p_out=1.0)
+    base.update(kw)
+    return CoupledRunConfig(**base)
+
+
+def test_incremental_search_effort(report):
+    """Counter-verified: the donor cache cuts per-round comparisons."""
+    iface = make_interface()
+    geo = iface.up.donor_geometry()
+    targets = np.arange(iface.down.y.size)
+    rows = []
+    scratch_per_round = []
+    inc = IncrementalSearch("adt", geo.boxes, geo.corners)
+    inc_per_round = []
+    for r in range(ROUNDS):
+        t = DT * (r + 1)
+        y, z = iface.shifted_targets("up", "down", t, targets)
+        scratch = make_search("adt", geo.boxes)
+        scratch.find_batch(y, z)
+        scratch_per_round.append(scratch.stats.comparisons)
+        before = inc.stats.comparisons
+        inc.query(y, z)
+        inc_per_round.append(inc.stats.comparisons - before)
+        if r in (0, 1, ROUNDS - 1):
+            rows.append([f"round {r}", scratch_per_round[-1],
+                         inc_per_round[-1],
+                         scratch_per_round[-1] / inc_per_round[-1]])
+
+    # steady state: every round after calibration round 0
+    scratch_steady = float(np.mean(scratch_per_round[1:]))
+    inc_steady = float(np.mean(inc_per_round[1:]))
+    reduction = scratch_steady / inc_steady
+    report(format_table(
+        ["round", "from-scratch ADT", "incremental", "reduction"],
+        rows, title=f"donor-search comparisons per round "
+                    f"({NR}x{NT} interface, {targets.size} targets)",
+        floatfmt=".1f")
+        + f"\nsteady-state reduction: {reduction:.1f}x "
+          f"(saved counter: {inc.stats.comparisons_saved})")
+
+    # the acceptance bar, from the counters themselves
+    assert reduction >= 5.0, \
+        f"incremental search reduction {reduction:.1f}x < 5x"
+    assert inc.stats.comparisons_saved > 0
+    assert inc.stats.cache_hits > 0
+
+    write_bench_summary(OUT_DIR, "coupler_fastpath_search", {
+        "scratch_comparisons_per_round": {
+            "value": scratch_steady, "unit": "comparisons"},
+        "incremental_comparisons_per_round": {
+            "value": inc_steady, "unit": "comparisons"},
+        "comparison_reduction": {"value": reduction, "unit": "x"},
+        "comparisons_saved": {
+            "value": float(inc.stats.comparisons_saved),
+            "unit": "comparisons"},
+    }, meta={"interface": f"{NR}x{NT}", "rounds": ROUNDS,
+             "note": "steady state excludes the calibration round"})
+
+
+def _rounds_per_second(serve, rounds=ROUNDS):
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        serve(DT * (r + 1))
+    return rounds / (time.perf_counter() - t0)
+
+
+def test_transfer_throughput(report):
+    """rounds/s: per-point loop vs batched vs batched + incremental."""
+    iface = make_interface()
+    donors = np.tile(conserved(1.0, 0.5, 0.1, 0.0, 1.0), (NR * NT, 1))
+    subset = np.arange(iface.down.y.size)
+    quads = iface.up.donor_quads()
+
+    modes = {}
+    modes["pointwise"] = _rounds_per_second(
+        lambda t: cu_transfer(iface, "up", "down", donors, t,
+                              subset=subset, cached_quads=quads))
+    batch = CUTransferEngine(iface, "up", "down", subset=subset,
+                             incremental=False)
+    modes["batch"] = _rounds_per_second(lambda t: batch.serve(donors, t))
+    inc = CUTransferEngine(iface, "up", "down", subset=subset,
+                           incremental=True)
+    modes["batch+incremental"] = _rounds_per_second(
+        lambda t: inc.serve(donors, t))
+
+    base = modes["pointwise"]
+    report(format_table(
+        ["mode", "rounds/s", "speedup"],
+        [[k, v, v / base] for k, v in modes.items()],
+        title=f"transfer throughput ({subset.size} targets/round)",
+        floatfmt=".1f"))
+    assert modes["batch"] > base
+    assert modes["batch+incremental"] > base
+
+    write_bench_summary(OUT_DIR, "coupler_fastpath_throughput", {
+        f"rounds_per_s_{k.replace('+', '_')}": {"value": v, "unit": "1/s"}
+        for k, v in modes.items()
+    }, meta={"targets": int(subset.size), "rounds": ROUNDS})
+
+
+def test_coupled_serve_speedup(report):
+    """The fast path must cut the coupled run's serve-compute wall >= 2x
+    and the biquadratic option must stay conservative."""
+    steps = 6
+    fast = CoupledDriver(coupled_cfg()).run(steps)
+    legacy = CoupledDriver(coupled_cfg(fastpath=False)).run(steps)
+    biquad = CoupledDriver(coupled_cfg(interp="biquadratic")).run(steps)
+
+    def serve_compute(result):
+        return sum(cu["serve_compute_seconds"] for cu in result.cus)
+
+    t_fast, t_legacy = serve_compute(fast), serve_compute(legacy)
+    speedup = t_legacy / t_fast
+    flux_bilinear = fast.interface_flux_error()
+    flux_biquad = biquad.interface_flux_error()
+    saved = fast.total_search_stats().comparisons_saved
+
+    report(format_table(
+        ["case", "serve compute [s]", "flux error"],
+        [["legacy (per-point, from-scratch)", t_legacy,
+          legacy.interface_flux_error()],
+         ["fast path (batch + incremental)", t_fast, flux_bilinear],
+         ["fast path, biquadratic", serve_compute(biquad), flux_biquad]],
+        title=f"coupled run, {steps} steps, nt=64", floatfmt=".3g")
+        + f"\nserve-compute speedup: {speedup:.1f}x; "
+          f"comparisons saved: {saved}")
+
+    assert speedup >= 2.0, f"fast-path serve speedup {speedup:.1f}x < 2x"
+    assert saved > 0
+    # both transfers conserve the interface-mean axial mass flux
+    assert flux_bilinear < 1e-10
+    assert flux_biquad < 1e-10
+    # and the fast path did not change the physics
+    np.testing.assert_array_equal(fast.pressure_profile()[1],
+                                  legacy.pressure_profile()[1])
+
+    write_bench_summary(OUT_DIR, "coupler_fastpath", {
+        "serve_compute_legacy": {"value": t_legacy, "unit": "s"},
+        "serve_compute_fastpath": {"value": t_fast, "unit": "s"},
+        "serve_speedup": {"value": speedup, "unit": "x"},
+        "serve_compute_biquadratic": {
+            "value": serve_compute(biquad), "unit": "s"},
+        "comparisons_saved": {"value": float(saved), "unit": "comparisons"},
+        "flux_error_bilinear": {"value": flux_bilinear, "unit": "rel"},
+        "flux_error_biquadratic": {"value": flux_biquad, "unit": "rel"},
+    }, meta={
+        "steps": steps, "rig": "nr=3 nt=64 nx=4 rows=2",
+        "bitwise": "fast-path pressure profile == legacy (asserted)",
+        "note": "serve_compute_seconds excludes donor-assembly waits",
+    })

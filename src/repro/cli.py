@@ -58,6 +58,9 @@ def _cmd_compressor(args: argparse.Namespace) -> int:
     cfg = CoupledRunConfig(
         rig=rig, ranks_per_row=args.ranks_per_row,
         cus_per_interface=args.cus, search=args.search,
+        fastpath=not args.no_fastpath,
+        incremental=not args.no_incremental,
+        interp=args.interp, interp_native=args.interp_native,
         numerics=Numerics(inner_iters=args.inner),
         inlet=FlowState(ux=0.5), p_out=args.p_out,
         checkpoint_every=args.checkpoint_every,
@@ -75,6 +78,13 @@ def _cmd_compressor(args: argparse.Namespace) -> int:
     print(f"pressure ratio: {result.pressure_ratio():.3f}")
     print(f"interface wiggle: {result.interface_wiggle():.4f}")
     print(f"coupler wait fraction: {result.coupler_wait_fraction():.3f}")
+    stats = result.total_search_stats()
+    if stats.comparisons_saved:
+        print(f"incremental search: {stats.cache_hits} donor cache hits, "
+              f"{stats.researched} re-searched, "
+              f"{stats.comparisons_saved} comparisons saved")
+    if args.interp == "biquadratic":
+        print(f"interface flux error: {result.interface_flux_error():.3e}")
     if args.checkpoint_every:
         print(f"checkpoint overhead: {result.checkpoint_overhead():.3f}")
     if args.contour:
@@ -372,6 +382,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     cfg = CoupledRunConfig(
         rig=rig, ranks_per_row=args.ranks_per_row,
         cus_per_interface=args.cus, search=args.search,
+        incremental=not args.no_incremental, interp=args.interp,
         numerics=Numerics(inner_iters=args.inner),
         inlet=FlowState(ux=0.5), p_out=args.p_out,
         schedule_seed=args.seed, lazy=args.lazy, trace=True)
@@ -388,6 +399,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     meta = {"case": "coupled-rig250", "rows": rig.n_rows,
             "steps": args.steps, "world_ranks": driver.n_world,
             "search": args.search,
+            "incremental": not args.no_incremental,
+            "interp": args.interp,
             "schedule_seed": args.seed}
     write_metrics(metrics_path,
                   metrics_summary(timeline, traffic=result.traffic,
@@ -631,6 +644,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inner", type=int, default=4)
     p.add_argument("--p-out", type=float, default=1.05)
     p.add_argument("--search", choices=["adt", "bruteforce"], default="adt")
+    p.add_argument("--interp", choices=["bilinear", "biquadratic"],
+                   default="bilinear",
+                   help="interface interpolation: bilinear (default) or "
+                        "biquadratic (conservative high-order; reports "
+                        "the per-round flux error)")
+    p.add_argument("--no-fastpath", action="store_true",
+                   help="serve transfers with the original per-round "
+                        "windowed search + per-point interpolation")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable the cross-round donor cache (re-search "
+                        "every target every round)")
+    p.add_argument("--interp-native", action="store_true",
+                   help="route the interpolation gather-apply through "
+                        "the compiled native kernel when available")
     p.add_argument("--contour", action="store_true")
     p.add_argument("--checkpoint-every", type=int, default=0,
                    help="write a coordinated checkpoint set every N "
@@ -708,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lazy", action="store_true",
                    help="lazy loop-chain execution in the Hydra Sessions "
                         "(bitwise-equal; breakdown gains elision columns)")
+    p.add_argument("--interp", choices=["bilinear", "biquadratic"],
+                   default="bilinear")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable the cross-round donor cache")
     p.add_argument("--out", default="trace_out",
                    help="output directory for trace.json / metrics.json")
     p.set_defaults(fn=_cmd_trace)

@@ -17,13 +17,21 @@ imbalance the paper identifies as the scaling bottleneck.
 
 from repro.coupler.adt import ADTree
 from repro.coupler.search import (
+    DEFAULT_EPS,
     ADTSearch,
+    BatchHits,
     BruteForceSearch,
+    DonorGeometry,
+    IncrementalSearch,
     SearchStats,
+    bilinear_weights_batch,
     make_search,
 )
+from repro.coupler.biquad import biquadratic_stencil, flux_error, grid_axes
+from repro.coupler.fastpath import gather_apply, native_status
 from repro.coupler.interface import SideGeometry, SlidingInterface
 from repro.coupler.partitioning import segment_of, segment_targets
+from repro.coupler.unit import CUTransferEngine, TransferResult, cu_transfer
 from repro.coupler.driver import (
     CoupledDriver,
     CoupledRunConfig,
@@ -36,9 +44,12 @@ from repro.coupler.driver import (
 from repro.coupler.monolithic import MonolithicDriver
 
 __all__ = [
-    "ADTree", "ADTSearch", "BruteForceSearch", "SearchStats", "make_search",
-    "SideGeometry", "SlidingInterface", "segment_of", "segment_targets",
-    "CoupledDriver", "CoupledRunConfig", "CoupledResult", "DriverSetup",
-    "MonolithicDriver", "balanced_ranks", "build_driver_setup",
+    "ADTree", "ADTSearch", "BatchHits", "BruteForceSearch", "CUTransferEngine",
+    "DEFAULT_EPS", "DonorGeometry", "IncrementalSearch", "SearchStats",
+    "TransferResult", "bilinear_weights_batch", "biquadratic_stencil",
+    "cu_transfer", "flux_error", "gather_apply", "grid_axes", "make_search",
+    "native_status", "SideGeometry", "SlidingInterface", "segment_of",
+    "segment_targets", "CoupledDriver", "CoupledRunConfig", "CoupledResult",
+    "DriverSetup", "MonolithicDriver", "balanced_ranks", "build_driver_setup",
     "setup_fingerprint",
 ]

@@ -111,3 +111,63 @@ class ADTree:
                 stack.append(node.left)
                 stack.append(node.right)
         return out, tests
+
+    def candidates_batch(self, y: np.ndarray, z: np.ndarray,
+                         eps: float = 1e-12) -> tuple[np.ndarray, int]:
+        """Lowest-index containing box per point, plus total tests made.
+
+        The level-synchronous counterpart of :meth:`candidates`: one
+        frontier of ``(node, pending-point-set)`` pairs descends the
+        tree a level at a time, so every box/bbox test runs as an
+        array operation over all points still pending at that node.
+        Visits exactly the nodes the per-point descent would visit for
+        each point, and counts exactly the same number of tests, so
+        ``SearchStats`` comparisons stay directly comparable between
+        the scalar and batch paths. Returns ``(best, tests)`` where
+        ``best[i]`` is the smallest index of a box containing point
+        ``i`` (``-1`` = no box).
+        """
+        y = np.ascontiguousarray(y, dtype=np.float64)
+        z = np.ascontiguousarray(z, dtype=np.float64)
+        n = y.size
+        best = np.full(n, -1, dtype=np.int64)
+        tests = 0
+        if not self.nodes or n == 0:
+            return best, tests
+        frontier: list[tuple[int, np.ndarray]] = [(0, np.arange(n))]
+        while frontier:
+            nxt: list[tuple[int, np.ndarray]] = []
+            for node_id, idx in frontier:
+                node = self.nodes[node_id]
+                b = node.bbox
+                tests += idx.size
+                yi = y[idx]
+                zi = z[idx]
+                keep = idx[(b[0] - eps <= yi) & (yi <= b[2] + eps)
+                           & (b[1] - eps <= zi) & (zi <= b[3] + eps)]
+                if keep.size == 0:
+                    continue
+                if node.left < 0:
+                    leaf = self.perm[node.lo:node.hi]
+                    boxes = self.boxes[leaf]
+                    tests += keep.size * leaf.size
+                    yk = y[keep, None]
+                    zk = z[keep, None]
+                    inside = ((boxes[None, :, 0] - eps <= yk)
+                              & (yk <= boxes[None, :, 2] + eps)
+                              & (boxes[None, :, 1] - eps <= zk)
+                              & (zk <= boxes[None, :, 3] + eps))
+                    hit = inside.any(axis=1)
+                    if hit.any():
+                        # smallest global box index among this leaf's hits
+                        cand = np.where(inside, leaf[None, :], self.size)
+                        local_best = cand.min(axis=1)[hit]
+                        rows = keep[hit]
+                        cur = best[rows]
+                        upd = (cur < 0) | (local_best < cur)
+                        best[rows[upd]] = local_best[upd]
+                else:
+                    nxt.append((node.left, keep))
+                    nxt.append((node.right, keep))
+            frontier = nxt
+        return best, tests

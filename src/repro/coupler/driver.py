@@ -24,7 +24,7 @@ from repro import op2
 from repro.coupler.interface import SideGeometry, SlidingInterface
 from repro.coupler.partitioning import segment_of
 from repro.coupler.search import SearchStats
-from repro.coupler.unit import CUAccounting, cu_transfer
+from repro.coupler.unit import CUAccounting, CUTransferEngine, cu_transfer
 from repro.hydra.gas import FlowState, primitives
 from repro.hydra.problem import row_owners, row_problem
 from repro.hydra.session import HydraSession
@@ -60,6 +60,19 @@ class CoupledRunConfig:
     ranks_per_row: list[int] | int = 1
     cus_per_interface: int = 1
     search: str = "adt"
+    #: serve transfers through the persistent batched
+    #: :class:`~repro.coupler.unit.CUTransferEngine` (False = the
+    #: original per-round windowed search + per-point interpolation)
+    fastpath: bool = True
+    #: cache donors across coupling rounds and re-validate instead of
+    #: re-searching (fastpath only)
+    incremental: bool = True
+    #: interface interpolation: "bilinear" (default, bitwise-stable
+    #: baseline) or "biquadratic" (conservative high-order stencil)
+    interp: str = "bilinear"
+    #: route the interpolation gather-apply through the compiled
+    #: native kernel when a C toolchain exists (silent fallback)
+    interp_native: bool = False
     numerics: Numerics = field(default_factory=Numerics)
     #: inflow in the absolute frame; rotors see it frame-shifted
     inlet: FlowState = field(default_factory=lambda: FlowState(ux=0.5))
@@ -258,6 +271,37 @@ class CoupledResult:
         for cu in self.cus:
             stats.merge(cu["stats"])
         return stats
+
+    def interface_flux_error(self) -> float:
+        """Worst per-round conservation error of any interface transfer.
+
+        Each CU logs, per serve and direction, the sum of its targets'
+        axial mass flux (``rho*u_x``, frame-invariant) plus the donor
+        grid's mean; summing the target sums across all CUs of one
+        (interface, direction) reconstructs the full target-side
+        average, whose relative mismatch against the donor average is
+        the transfer's conservation error for that round. Returns the
+        max over rounds, directions and interfaces (0.0 when no flux
+        logs were recorded).
+        """
+        worst = 0.0
+        for k in {cu["interface"] for cu in self.cus}:
+            members = [cu for cu in self.cus if cu["interface"] == k]
+            for direction in (0, 1):
+                per_cu = [[e for e in cu.get("flux_log", [])
+                           if e[0] == direction] for cu in members]
+                if not per_cu or not per_cu[0]:
+                    continue
+                for entries in zip(*per_cu):
+                    total = sum(e[1] for e in entries)
+                    count = sum(e[2] for e in entries)
+                    donor_mean = entries[0][3]
+                    if count == 0:
+                        continue
+                    scale = max(abs(donor_mean), 1e-300)
+                    worst = max(worst,
+                                abs(total / count - donor_mean) / scale)
+        return worst
 
 
 def balanced_ranks(rig: Rig250Config, total_ranks: int) -> list[int]:
@@ -961,8 +1005,19 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
     rig = setup.cfg.rig
     every = max(1, cfg.couple_every)
     serve = Timer(name="serve", cat="coupler.serve")
+    serve_compute = Timer(name="serve_compute", cat="coupler.serve_compute")
     ck_timer = Timer(name="checkpoint_write",
                      cat="resilience.checkpoint_write")
+
+    engines: dict[int, CUTransferEngine] = {}
+    if cfg.fastpath:
+        for d in my_dirs:
+            src = "up" if d.direction == 0 else "down"
+            dst = "down" if d.direction == 0 else "up"
+            engines[d.direction] = CUTransferEngine(
+                iface, src, dst, subset=d.cu_targets[cu_index],
+                search_kind=cfg.search, incremental=cfg.incremental,
+                interp=cfg.interp, native=cfg.interp_native)
 
     def serve_round(t: float) -> None:
         serve.start()
@@ -979,18 +1034,26 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
                     donors[positions] = values
             src = "up" if d.direction == 0 else "down"
             dst = "down" if d.direction == 0 else "up"
-            result = cu_transfer(
-                iface, src, dst, donors, t,
-                subset=d.cu_targets[cu_index], search_kind=cfg.search,
-                margin_quads=cfg.margin_quads, cached_quads=quads[src])
+            serve_compute.start()
+            if cfg.fastpath:
+                result = engines[d.direction].serve(donors, t)
+            else:
+                result = cu_transfer(
+                    iface, src, dst, donors, t,
+                    subset=d.cu_targets[cu_index], search_kind=cfg.search,
+                    margin_quads=cfg.margin_quads, cached_quads=quads[src])
             acct.stats.merge(result.stats)
+            acct.flux_log.append((d.direction, result.flux_sum,
+                                  int(result.positions.size),
+                                  result.donor_flux_mean))
             world.set_phase(f"coupler.scatter:{d.k}:{d.direction}")
-            lookup = {int(p): i for i, p in enumerate(result.positions)}
+            # result.positions is ascending (np.nonzero order), so the
+            # per-target row lookup is one vectorized binary search
             for dst_rank, positions in d.cu_send[cu_index].items():
-                rows = np.array([lookup[int(p)] for p in positions],
-                                dtype=np.int64)
+                rows = np.searchsorted(result.positions, positions)
                 world.send((positions, result.values[rows]), dest=dst_rank,
                            tag=_tag(_TAG_RESULT, d.k, d.direction))
+            serve_compute.stop()
         serve.stop()
         acct.rounds += 1
 
@@ -999,9 +1062,12 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
     # the same order
     start_step = 0
     if setup.resume is not None:
-        _cu_restore(world, acct, setup.resume)
+        _cu_restore(world, acct, setup.resume, engines)
         start_step = setup.resume.step
     else:
+        for engine in engines.values():
+            # search-structure construction cost, reported once per run
+            acct.stats.build_ops += engine.stats.build_ops
         serve_round(t=0.0)
     for step in range(start_step + 1, setup.nsteps + 1):
         world.notify_step(step)
@@ -1010,8 +1076,9 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
         if setup.ckpt is not None and step % cfg.checkpoint_every == 0:
             with ck_timer:
                 _coordinated_checkpoint(world, setup, step,
-                                        _cu_member_payload(acct))
+                                        _cu_member_payload(acct, engines))
     acct.serve_seconds = serve.elapsed
+    acct.serve_compute_seconds = serve_compute.elapsed
     return {
         "role": "cu",
         "interface": k,
@@ -1019,28 +1086,56 @@ def _cu_main(world, k: int, cu_index: int, setup: _Setup):
         "rounds": acct.rounds,
         "stats": acct.stats,
         "serve_seconds": acct.serve_seconds,
+        "serve_compute_seconds": acct.serve_compute_seconds,
         "checkpoint_seconds": ck_timer.elapsed,
+        "interp": cfg.interp if cfg.fastpath else "bilinear",
+        "fastpath": cfg.fastpath,
+        "incremental": cfg.fastpath and cfg.incremental,
+        "flux_log": list(acct.flux_log),
     }
 
 
-def _cu_member_payload(acct: CUAccounting) -> dict:
-    """A CU rank's checkpoint member: its accounting counters.
+def _cu_member_payload(acct: CUAccounting,
+                       engines: dict[int, CUTransferEngine]) -> dict:
+    """A CU rank's checkpoint member: counters + donor caches.
 
     Restoring them makes a resumed run's merged CU report (rounds,
-    search statistics) identical to an uninterrupted run's.
+    search statistics, flux log) identical to an uninterrupted run's;
+    the per-direction incremental donor caches are included so the
+    resumed run's re-validation trajectory — and therefore every
+    comparison counter — replays bitwise.
     """
     s = acct.stats
-    return {
+    payload = {
         "rounds": np.array([acct.rounds], dtype=np.int64),
-        "stats": np.array([s.queries, s.comparisons, s.build_ops,
-                           s.misses], dtype=np.int64),
+        "stats": np.array([s.queries, s.comparisons, s.build_ops, s.misses,
+                           s.cache_hits, s.revalidated, s.researched,
+                           s.comparisons_saved], dtype=np.int64),
+        "flux_log": np.array(acct.flux_log,
+                             dtype=np.float64).reshape(-1, 4),
     }
+    for direction, engine in engines.items():
+        cached, baseline = engine.cache_state()
+        payload[f"cache_d{direction}"] = cached
+        payload[f"baseline_d{direction}"] = np.array([baseline])
+    return payload
 
 
 def _cu_restore(world, acct: CUAccounting,
-                manifest: CheckpointManifest) -> None:
+                manifest: CheckpointManifest,
+                engines: dict[int, CUTransferEngine]) -> None:
     with np.load(manifest.member(world.rank)) as archive:
         acct.rounds = int(archive["rounds"][0])
-        q, c, b, m = (int(v) for v in archive["stats"])
-        acct.stats.merge(SearchStats(queries=q, comparisons=c,
-                                     build_ops=b, misses=m))
+        values = [int(v) for v in archive["stats"]]
+        values += [0] * (8 - len(values))  # pre-fastpath checkpoint sets
+        acct.stats.merge(SearchStats(*values))
+        if "flux_log" in archive:
+            acct.flux_log = [
+                (int(d), float(fs), int(n), float(dm))
+                for d, fs, n, dm in archive["flux_log"]]
+        for direction, engine in engines.items():
+            key = f"cache_d{direction}"
+            if key in archive:
+                engine.restore_cache_state(
+                    archive[key].astype(np.int64),
+                    float(archive[f"baseline_d{direction}"][0]))

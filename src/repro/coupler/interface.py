@@ -17,7 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.coupler.search import make_search
+from repro.coupler.biquad import biquadratic_stencil, grid_axes
+from repro.coupler.fastpath import gather_apply
+from repro.coupler.search import DonorGeometry, make_search
 from repro.hydra.gas import shift_frame
 
 
@@ -73,6 +75,15 @@ class SideGeometry:
                     corners.append(pos)
         return np.array(boxes), np.array(corners, dtype=np.int64)
 
+    def donor_geometry(self) -> DonorGeometry:
+        """Cached :class:`DonorGeometry` of this side's donor grid."""
+        geo = getattr(self, "_donor_geo", None)
+        if geo is None:
+            boxes, corners = self.donor_quads()
+            geo = DonorGeometry(boxes=boxes, corners=corners)
+            self._donor_geo = geo
+        return geo
+
 
 @dataclass
 class SlidingInterface:
@@ -122,30 +133,72 @@ class SlidingInterface:
     def transfer(self, src: str, dst: str, donor_values: np.ndarray,
                  t: float, search_kind: str = "adt",
                  subset: np.ndarray | None = None,
-                 search=None) -> tuple[np.ndarray, object]:
+                 search=None, batch: bool = True,
+                 interp: str = "bilinear",
+                 native: bool = False) -> tuple[np.ndarray, object]:
         """Interpolate donor-side values onto dst targets at time ``t``.
 
         ``donor_values`` is (nr*nt, 5) conserved state on the src donor
         grid (in src's frame). Returns (target values (m, 5) in dst's
         frame, the search object — inspect ``.stats`` for effort).
+
+        ``batch=True`` (default) routes the query through ``find_batch``
+        and a vectorized gather-apply, bitwise identical to the
+        pointwise reference path (``batch=False``). ``interp`` selects
+        ``"bilinear"`` (default) or ``"biquadratic"`` (3x3 conservative
+        high-order stencil, see :mod:`repro.coupler.biquad`); ``native``
+        opts the gather-apply into the compiled kernel when available.
         """
         geo_src = self.side(src)
         if search is None:
-            boxes, corners = geo_src.donor_quads()
-            search = make_search(search_kind, boxes)
-            search._corners = corners  # type: ignore[attr-defined]
-        corners = search._corners
+            geo = geo_src.donor_geometry()
+            search = make_search(search_kind, geo.boxes, geo.corners)
+        corners = search.corners
         y_q, z_q = self.shifted_targets(src, dst, t, subset)
-        out = np.empty((y_q.size, donor_values.shape[1]))
-        for i, (yy, zz) in enumerate(zip(y_q, z_q)):
-            hit = search.find(float(yy), float(zz))
-            if hit.quad < 0:
+        if interp == "biquadratic":
+            out = self._transfer_biquadratic(geo_src, y_q, z_q,
+                                             donor_values, native)
+        elif batch:
+            hits = search.find_batch(y_q, z_q)
+            miss = np.nonzero(hits.quads < 0)[0]
+            if miss.size:
+                i = int(miss[0])
                 raise RuntimeError(
                     f"interface {self.name!r}: no donor found for target "
-                    f"({yy:.6f}, {zz:.6f}) at t={t}"
+                    f"({y_q[i]:.6f}, {z_q[i]:.6f}) at t={t}"
                 )
-            pts = corners[hit.quad]
-            out[i] = hit.weights @ donor_values[pts]
+            out = gather_apply(hits.weights, corners[hits.quads],
+                               donor_values, native=native)
+        else:
+            out = np.empty((y_q.size, donor_values.shape[1]))
+            for i, (yy, zz) in enumerate(zip(y_q, z_q)):
+                hit = search.find(float(yy), float(zz))
+                if hit.quad < 0:
+                    raise RuntimeError(
+                        f"interface {self.name!r}: no donor found for target "
+                        f"({yy:.6f}, {zz:.6f}) at t={t}"
+                    )
+                pts = corners[hit.quad]
+                w = hit.weights
+                v = donor_values
+                out[i] = ((w[0] * v[pts[0]] + w[1] * v[pts[1]])
+                          + w[2] * v[pts[2]]) + w[3] * v[pts[3]]
         du = (self.side(dst).frame_velocity
               - self.side(src).frame_velocity)
         return shift_frame(out, du), search
+
+    def _transfer_biquadratic(self, geo_src: SideGeometry, y_q: np.ndarray,
+                              z_q: np.ndarray, donor_values: np.ndarray,
+                              native: bool) -> np.ndarray:
+        axes = grid_axes(geo_src.grid_shape, geo_src.y, geo_src.z,
+                         geo_src.circumference)
+        if axes.zlines.size < 3:
+            # too few radial stations for a quadratic stencil: the
+            # bilinear batch path is the documented fallback
+            geo = geo_src.donor_geometry()
+            s = make_search("adt", geo.boxes, geo.corners)
+            hits = s.find_batch(y_q, z_q)
+            return gather_apply(hits.weights, geo.corners[hits.quads],
+                                donor_values, native=native)
+        pts, weights = biquadratic_stencil(axes, y_q, z_q)
+        return gather_apply(weights, pts, donor_values, native=native)

@@ -110,13 +110,16 @@ class HydraSession:
         flags stay consistent.
         """
         info = self.sides[side]
-        lookup = {int(p): i for i, p in enumerate(info.owned_halo_pos)}
-        try:
-            rows = np.array([lookup[int(p)] for p in positions], dtype=np.int64)
-        except KeyError as exc:
+        owned = info.owned_halo_pos  # ascending (np.nonzero order)
+        positions = np.asarray(positions, dtype=np.int64)
+        rows = np.searchsorted(owned, positions)
+        bad = (rows >= owned.size) | (owned[np.minimum(rows, owned.size - 1)]
+                                      != positions)
+        if bad.any():
             raise ValueError(
-                f"position {exc} is not an owned halo node of side {side!r}"
-            ) from None
+                f"position {int(positions[np.nonzero(bad)[0][0]])} is not "
+                f"an owned halo node of side {side!r}"
+            )
         self.solver.q.data_with_halos[info._halo_local[rows]] = values
         rec = active_recorder()
         if rec is not None:

@@ -29,7 +29,7 @@ from repro.telemetry.chrometrace import (chrome_trace, validate_chrome_trace,
                                          write_chrome_trace)
 from repro.telemetry.metrics import (BENCH_SCHEMA, METRICS_SCHEMA,
                                      bench_summary, cache_summary,
-                                     metrics_summary,
+                                     coupler_summary, metrics_summary,
                                      validate_bench, validate_metrics,
                                      write_bench_summary, write_metrics)
 from repro.telemetry.recorder import (LoopStat, RankRecorder, SpanEvent,
@@ -42,7 +42,8 @@ __all__ = [
     "BENCH_SCHEMA", "METRICS_SCHEMA", "COUPLER_CATS",
     "LoopStat", "RankRecorder", "SpanEvent", "Timeline", "TraceSession",
     "active_recorder", "bench_summary", "chrome_trace", "current_recorder",
-    "cache_summary", "merge_timelines", "metrics_summary", "span",
+    "cache_summary", "coupler_summary", "merge_timelines",
+    "metrics_summary", "span",
     "tracing", "use_recorder",
     "validate_bench", "validate_chrome_trace", "validate_metrics",
     "write_bench_summary", "write_chrome_trace", "write_metrics",

@@ -44,6 +44,27 @@ CACHE_COUNTER_MAP = {
 }
 
 
+#: the coupler fast-path counters promoted into the structured
+#: ``coupler`` section: donor-cache effectiveness of the incremental
+#: search plus interpolation throughput. Emitted by
+#: :class:`~repro.coupler.unit.CUTransferEngine` during traced runs.
+COUPLER_COUNTER_MAP = {
+    "search": {
+        "queries": "coupler.search.queries",
+        "comparisons": "coupler.search.comparisons",
+        "cache_hits": "coupler.search.cache_hits",
+        "revalidated": "coupler.search.revalidated",
+        "researched": "coupler.search.researched",
+        "comparisons_saved": "coupler.search.comparisons_saved",
+    },
+    "interp": {
+        "rounds": "coupler.interp.rounds",
+        "bilinear_points": "coupler.interp.bilinear.points",
+        "biquadratic_points": "coupler.interp.biquadratic.points",
+    },
+}
+
+
 def cache_summary(counters) -> dict:
     """Structured hit/miss accounting per cache, from raw counters."""
     return {
@@ -52,6 +73,17 @@ def cache_summary(counters) -> dict:
             for outcome, keys in fields.items()
         }
         for cache, fields in CACHE_COUNTER_MAP.items()
+    }
+
+
+def coupler_summary(counters) -> dict:
+    """Structured coupler fast-path accounting, from raw counters."""
+    return {
+        group: {
+            field: float(counters.get(key, 0.0))
+            for field, key in fields.items()
+        }
+        for group, fields in COUPLER_COUNTER_MAP.items()
     }
 
 
@@ -65,6 +97,7 @@ def metrics_summary(timeline, traffic=None, meta=None) -> dict:
         "span_count": len(timeline.spans),
         "counters": dict(timeline.counters),
         "caches": cache_summary(timeline.counters),
+        "coupler": coupler_summary(timeline.counters),
         "categories": timeline.by_category(),
         "breakdown": timeline.breakdown(),
         "kernels": {
@@ -92,7 +125,8 @@ def validate_metrics(doc) -> None:
     if doc.get("schema") != METRICS_SCHEMA:
         raise ValueError(f"expected schema {METRICS_SCHEMA!r}, "
                          f"got {doc.get('schema')!r}")
-    for key in ("breakdown", "categories", "kernels", "counters", "caches"):
+    for key in ("breakdown", "categories", "kernels", "counters", "caches",
+                "coupler"):
         if not isinstance(doc.get(key), dict):
             raise ValueError(f"metrics doc missing object field {key!r}")
     for cache, fields in doc["caches"].items():
@@ -103,6 +137,15 @@ def validate_metrics(doc) -> None:
             if not isinstance(v, (int, float)) or v < 0:
                 raise ValueError(
                     f"caches[{cache!r}][{outcome!r}] must be >= 0")
+    for group, fields in COUPLER_COUNTER_MAP.items():
+        section = doc["coupler"].get(group)
+        if not isinstance(section, dict):
+            raise ValueError(f"coupler[{group!r}] must be an object")
+        for field in fields:
+            v = section.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                raise ValueError(
+                    f"coupler[{group!r}][{field!r}] must be >= 0")
     bd = doc["breakdown"]
     for bucket in ("compute", "halo", "coupler"):
         v = bd.get(bucket)

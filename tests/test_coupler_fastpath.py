@@ -1,0 +1,437 @@
+"""Coupler fast path: batched search, incremental donors, interp modes.
+
+The equivalence contract under test: the batched vectorized query +
+gather-apply path and the incremental donor cache produce **bitwise**
+the same values, donors and effort counters as the original per-point
+from-scratch path; the biquadratic option conserves the interface-mean
+axial mass flux and matches its pinned golden trajectory.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coupler.biquad import biquadratic_stencil, flux_error, grid_axes
+from repro.coupler.fastpath import gather_apply, native_status
+from repro.coupler.interface import SideGeometry, SlidingInterface
+from repro.coupler.search import (
+    DEFAULT_EPS,
+    ADTSearch,
+    BruteForceSearch,
+    DonorGeometry,
+    IncrementalSearch,
+    SearchStats,
+    bilinear_weights_batch,
+    make_search,
+)
+from repro.coupler.unit import CUTransferEngine, cu_transfer
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "coupler_biquadratic.json"
+
+
+def make_side(nr=3, nt=8, L=8.0, v=0.0):
+    dy = L / nt
+    y = np.tile(dy * np.arange(nt), nr)
+    z = np.repeat(np.linspace(2.0, 3.0, nr), nt)
+    return SideGeometry(grid_shape=(nr, nt), y=y, z=z, circumference=L,
+                        frame_velocity=v)
+
+
+def make_interface(v_up=0.0, v_down=0.3, nt_up=8, nt_down=8, nr=3):
+    return SlidingInterface(
+        name="igv/r1",
+        up=make_side(nr=nr, nt=nt_up, v=v_up),
+        down=make_side(nr=nr, nt=nt_down, v=v_down),
+    )
+
+
+def scalar_batch(search, y, z):
+    """Reference: a loop of scalar finds, packed like find_batch."""
+    quads = np.empty(y.size, dtype=np.int64)
+    weights = np.empty((y.size, 4))
+    for i in range(y.size):
+        hit = search.find(float(y[i]), float(z[i]))
+        quads[i] = hit.quad
+        weights[i] = hit.weights
+    return quads, weights
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("kind", ["bruteforce", "adt"])
+    def test_batch_matches_scalar_bitwise(self, kind):
+        geo = make_side(nr=5, nt=24, L=12.0).donor_geometry()
+        rng = np.random.default_rng(3)
+        # include out-of-annulus points so misses are exercised too
+        y = rng.uniform(-1.0, 13.0, 400)
+        z = rng.uniform(1.5, 3.5, 400)
+        s_ref = make_search(kind, geo.boxes, geo.corners)
+        s_bat = make_search(kind, geo.boxes, geo.corners)
+        quads, weights = scalar_batch(s_ref, y, z)
+        hits = s_bat.find_batch(y, z)
+        assert np.array_equal(hits.quads, quads)
+        assert np.array_equal(hits.weights, weights)
+        # identical effort accounting, including consistent misses
+        assert dataclasses.astuple(s_ref.stats) == \
+            dataclasses.astuple(s_bat.stats)
+        assert s_bat.stats.misses == int((quads < 0).sum()) > 0
+
+    def test_bruteforce_and_adt_agree(self):
+        geo = make_side(nr=4, nt=16).donor_geometry()
+        rng = np.random.default_rng(5)
+        y = rng.uniform(0.0, 8.0, 300)
+        z = rng.uniform(2.0, 3.0, 300)
+        bf = make_search("bruteforce", geo.boxes, geo.corners)
+        adt = make_search("adt", geo.boxes, geo.corners)
+        h_bf = bf.find_batch(y, z)
+        h_adt = adt.find_batch(y, z)
+        # unified donor rule (lowest containing quad) and eps: identical
+        # donors AND identical weights across both strategies
+        assert np.array_equal(h_bf.quads, h_adt.quads)
+        assert np.array_equal(h_bf.weights, h_adt.weights)
+        assert bf.stats.misses == adt.stats.misses == 0
+
+    def test_weights_batch_matches_scalar_elementwise(self):
+        from repro.coupler.search import _bilinear_weights
+        rng = np.random.default_rng(11)
+        boxes = np.stack([
+            rng.uniform(0, 1, 50), rng.uniform(0, 1, 50),
+            rng.uniform(1, 2, 50), rng.uniform(1, 2, 50)], axis=1)
+        boxes[:5, 2] = boxes[:5, 0]   # degenerate y extent
+        boxes[5:9, 3] = boxes[5:9, 1]  # degenerate z extent
+        y = rng.uniform(0, 2, 50)
+        z = rng.uniform(0, 2, 50)
+        batch = bilinear_weights_batch(boxes, y, z)
+        for i in range(50):
+            ref = _bilinear_weights(boxes[i], float(y[i]), float(z[i]))
+            assert np.array_equal(batch[i], ref)
+
+    def test_donor_geometry_validates(self):
+        with pytest.raises(ValueError, match="disagree"):
+            DonorGeometry(boxes=np.zeros((3, 4)), corners=np.zeros((2, 4)))
+
+    def test_corners_is_a_real_attribute(self):
+        geo = make_side().donor_geometry()
+        for kind in ("bruteforce", "adt"):
+            s = make_search(kind, geo.boxes, geo.corners)
+            assert s.corners is geo.corners
+            assert not hasattr(s, "_corners")
+
+
+class TestHypothesisProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.0, 1.0 - 1e-12), st.integers(0, 1000))
+    def test_periodic_seam_wrap(self, shift_frac, seed):
+        """Targets wrapped across the seam always find a donor, and the
+        seam-duplicate quad interpolates identically to the original."""
+        geo = make_side(nr=3, nt=8, L=8.0)
+        dg = geo.donor_geometry()
+        rng = np.random.default_rng(seed)
+        y = np.mod(rng.uniform(-0.5, 0.5, 32) + shift_frac * 8.0, 8.0)
+        z = rng.uniform(2.0, 3.0, 32)
+        s = make_search("adt", dg.boxes, dg.corners)
+        hits = s.find_batch(y, z)
+        assert (hits.quads >= 0).all()
+        assert s.stats.misses == 0
+        vals = rng.normal(size=(geo.y.size, 5))
+        out = gather_apply(hits.weights, dg.corners[hits.quads], vals)
+        assert np.isfinite(out).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_degenerate_extent_quads(self, seed):
+        """Zero-extent boxes fall back to 0.5 splits, batch == scalar."""
+        rng = np.random.default_rng(seed)
+        boxes = np.array([[0.0, 0.0, 0.0, 1.0],     # zero width
+                          [1.0, 1.0, 2.0, 1.0],     # zero height
+                          [3.0, 3.0, 3.0, 3.0]])    # a point
+        y = np.array([0.0, 1.5, 3.0, rng.uniform(0, 3)])
+        z = np.array([0.5, 1.0, 3.0, rng.uniform(0, 3)])
+        for kind in ("bruteforce", "adt"):
+            ref = make_search(kind, boxes)
+            bat = make_search(kind, boxes)
+            quads, weights = scalar_batch(ref, y, z)
+            hits = bat.find_batch(y, z)
+            assert np.array_equal(hits.quads, quads)
+            assert np.array_equal(hits.weights, weights)
+            hit_rows = hits.quads >= 0
+            assert np.allclose(hits.weights[hit_rows].sum(axis=1), 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    def test_incremental_matches_scratch_under_rotation(self, seed, rounds):
+        """Random rotation sequences: cached-donor re-validation returns
+        the same donors and bitwise the same weights as from-scratch."""
+        rng = np.random.default_rng(seed)
+        geo = make_side(nr=4, nt=12, L=12.0)
+        dg = geo.donor_geometry()
+        inc = IncrementalSearch("adt", dg.boxes, dg.corners)
+        y0 = rng.uniform(0, 12.0, 100)
+        z0 = rng.uniform(2.0, 3.0, 100)
+        shift = 0.0
+        for _ in range(rounds):
+            shift += rng.uniform(-1.0, 1.0)
+            y = np.mod(y0 + shift, 12.0)
+            scratch = make_search("adt", dg.boxes).find_batch(y, z0)
+            got = inc.query(y, z0)
+            assert np.array_equal(got.quads, scratch.quads)
+            assert np.array_equal(got.weights, scratch.weights)
+        if rounds > 1:
+            assert inc.stats.cache_hits > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_batch_miss_handling(self, seed):
+        """Out-of-domain targets: quad -1, zero weights, counted misses,
+        identically for both strategies."""
+        rng = np.random.default_rng(seed)
+        geo = make_side(nr=3, nt=8, L=8.0)
+        dg = geo.donor_geometry()
+        y = rng.uniform(0, 8.0, 20)
+        z = np.concatenate([rng.uniform(2.0, 3.0, 10),
+                            rng.uniform(5.0, 6.0, 10)])  # radially outside
+        results = {}
+        for kind in ("bruteforce", "adt"):
+            s = make_search(kind, dg.boxes)
+            hits = s.find_batch(y, z)
+            assert s.stats.misses == int((hits.quads < 0).sum()) == 10
+            assert (hits.weights[hits.quads < 0] == 0.0).all()
+            results[kind] = hits
+        assert np.array_equal(results["bruteforce"].quads,
+                              results["adt"].quads)
+
+
+class TestTransferPaths:
+    def test_transfer_batch_matches_pointwise_bitwise(self):
+        iface = make_interface(v_up=0.1, v_down=0.45)
+        rng = np.random.default_rng(8)
+        donors = rng.normal(size=(iface.up.y.size, 5)) + 2.0
+        for t in (0.0, 0.37, 1.91):
+            batch, _ = iface.transfer("up", "down", donors, t=t, batch=True)
+            point, _ = iface.transfer("up", "down", donors, t=t, batch=False)
+            assert np.array_equal(batch, point)
+
+    def test_engine_matches_legacy_cu_transfer_bitwise(self):
+        iface = make_interface(v_up=0.0, v_down=0.4, nt_up=16, nt_down=12)
+        rng = np.random.default_rng(9)
+        donors = rng.normal(size=(iface.up.y.size, 5)) + 2.0
+        subset = np.arange(iface.down.y.size)
+        engine = CUTransferEngine(iface, "up", "down", subset=subset,
+                                  incremental=True)
+        for r in range(5):
+            t = 0.31 * r
+            ref = cu_transfer(iface, "up", "down", donors, t, subset=subset)
+            got = engine.serve(donors, t)
+            assert np.array_equal(got.values, ref.values)
+            assert np.array_equal(got.positions, ref.positions)
+        # the cache did its job: later rounds re-validated, not re-searched
+        assert engine.stats.cache_hits > 0
+        assert engine.stats.comparisons_saved > 0
+
+    def test_engine_round_deltas_sum_to_totals(self):
+        iface = make_interface()
+        donors = np.ones((iface.up.y.size, 5))
+        subset = np.arange(iface.down.y.size)
+        engine = CUTransferEngine(iface, "up", "down", subset=subset)
+        acc = SearchStats()
+        for r in range(4):
+            acc.merge(engine.serve(donors, t=0.2 * r).stats)
+        total = dataclasses.astuple(engine.stats)
+        # engine totals = sum of per-round deltas + construction build_ops
+        expect = list(dataclasses.astuple(acc))
+        expect[2] += engine.stats.build_ops - acc.build_ops
+        assert total == tuple(expect)
+
+    def test_gather_apply_native_matches_numpy(self):
+        rng = np.random.default_rng(12)
+        vals = rng.normal(size=(60, 5))
+        pts = rng.integers(0, 60, size=(40, 9))
+        w = rng.normal(size=(40, 9))
+        ref = gather_apply(w, pts, vals, native=False)
+        out = gather_apply(w, pts, vals, native=True)
+        if native_status() == "compiled":
+            assert np.array_equal(out, ref)
+        else:  # graceful fallback still returns the numpy result
+            assert np.array_equal(out, ref)
+
+    def test_incremental_cache_roundtrip(self):
+        iface = make_interface(v_down=0.5)
+        donors = np.ones((iface.up.y.size, 5))
+        subset = np.arange(iface.down.y.size)
+        a = CUTransferEngine(iface, "up", "down", subset=subset)
+        a.serve(donors, t=0.0)
+        a.serve(donors, t=0.2)
+        cached, baseline = a.cache_state()
+        b = CUTransferEngine(iface, "up", "down", subset=subset)
+        b.restore_cache_state(cached, baseline)
+        ra = a.serve(donors, t=0.4)
+        rb = b.serve(donors, t=0.4)
+        assert np.array_equal(ra.values, rb.values)
+        assert dataclasses.astuple(ra.stats) == dataclasses.astuple(rb.stats)
+
+
+class TestBiquadratic:
+    def test_stencil_reproduces_quadratics(self):
+        geo = make_side(nr=5, nt=16, L=8.0)
+        axes = grid_axes(geo.grid_shape, geo.y, geo.z, geo.circumference)
+        # a field quadratic in z and constant in y: reproduced exactly
+        vals = (3.0 + 2.0 * geo.z - 0.7 * geo.z**2)[:, None] * np.ones(5)
+        rng = np.random.default_rng(4)
+        y = rng.uniform(0, 8.0, 200)
+        z = rng.uniform(2.0, 3.0, 200)
+        pts, w = biquadratic_stencil(axes, y, z)
+        out = gather_apply(w, pts, vals)
+        expect = 3.0 + 2.0 * z - 0.7 * z**2
+        np.testing.assert_allclose(out[:, 0], expect, rtol=1e-12)
+        # partition of unity
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_interface_mean_is_conserved(self):
+        """Equal uniform grids: the target-side mean axial mass flux
+        reproduces the donor mean to roundoff at any rotation."""
+        iface = make_interface(v_up=0.0, v_down=0.7, nr=5, nt_up=24,
+                               nt_down=24)
+        rng = np.random.default_rng(6)
+        donors = rng.normal(size=(iface.up.y.size, 5)) + 2.0
+        for t in (0.0, 0.13, 1.7):
+            out, _ = iface.transfer("up", "down", donors, t=t,
+                                    interp="biquadratic")
+            assert flux_error(donors, out) < 1e-12
+
+    def test_engine_reports_flux_fields(self):
+        iface = make_interface(nr=5)
+        donors = np.ones((iface.up.y.size, 5)) * 1.5
+        subset = np.arange(iface.down.y.size)
+        engine = CUTransferEngine(iface, "up", "down", subset=subset,
+                                  interp="biquadratic")
+        result = engine.serve(donors, t=0.29)
+        assert result.donor_flux_mean == pytest.approx(1.5)
+        assert result.flux_sum / subset.size == pytest.approx(1.5)
+
+    def test_rejects_unknown_interp(self):
+        iface = make_interface()
+        with pytest.raises(ValueError, match="interp"):
+            CUTransferEngine(iface, "up", "down",
+                             subset=np.arange(4), interp="spline")
+
+    def test_non_tensor_grid_rejected(self):
+        geo = make_side(nr=3, nt=8)
+        y = geo.y.copy()
+        y[10] += 0.01  # circumferential node drifts with radius
+        with pytest.raises(ValueError, match="tensor-product"):
+            grid_axes(geo.grid_shape, y, geo.z, geo.circumference)
+
+
+def _golden_cfg(interp):
+    from repro.coupler import CoupledRunConfig
+    from repro.hydra import FlowState, Numerics
+    from repro.mesh import rig250_config
+
+    return CoupledRunConfig(
+        rig=rig250_config(nr=3, nt=12, nx=4, rows=2,
+                          steps_per_revolution=64),
+        ranks_per_row=1, cus_per_interface=1,
+        numerics=Numerics(inner_iters=2), inlet=FlowState(ux=0.5),
+        p_out=1.0, interp=interp)
+
+
+class TestBiquadraticGolden:
+    def test_matches_golden(self):
+        """The biquadratic coupled trajectory is pinned: pressure ratio
+        and conservation error must reproduce the recorded run."""
+        from repro.coupler import CoupledDriver
+        with GOLDEN_PATH.open() as fh:
+            golden = json.load(fh)
+        result = CoupledDriver(_golden_cfg("biquadratic")).run(
+            golden["nsteps"])
+        assert result.pressure_ratio() == pytest.approx(
+            golden["pressure_ratio"], rel=1e-9)
+        err = result.interface_flux_error()
+        assert err <= golden["flux_error_bound"]
+        # the conservation check itself: high-order transfer stays
+        # conservative at the interface
+        assert err < 1e-10
+
+
+class TestCoupledEquivalence:
+    """Driver-level: fast path bitwise-identical to the legacy path."""
+
+    def _monitors(self, result):
+        return [
+            (row["stations_p"], np.asarray(row["midcut_p"]).tolist(),
+             row["wiggle"], row["plane_mdot_in"], row["plane_mdot_out"])
+            for row in result.rows
+        ]
+
+    @pytest.mark.parametrize("cus", [1, 4])
+    def test_fastpath_bitwise_vs_legacy(self, cus):
+        from repro.coupler import CoupledDriver
+        cfg_fast = dataclasses.replace(_golden_cfg("bilinear"),
+                                       cus_per_interface=cus)
+        cfg_legacy = dataclasses.replace(cfg_fast, fastpath=False,
+                                         incremental=False)
+        fast = CoupledDriver(cfg_fast).run(3)
+        legacy = CoupledDriver(cfg_legacy).run(3)
+        assert self._monitors(fast) == self._monitors(legacy)
+        # and the cache measurably cut the search effort
+        stats = fast.total_search_stats()
+        assert stats.cache_hits > 0
+        assert stats.comparisons_saved > 0
+        assert stats.comparisons < legacy.total_search_stats().comparisons
+
+    def test_fastpath_bitwise_on_process_transport(self):
+        from repro.coupler import CoupledDriver
+        cfg_fast = dataclasses.replace(_golden_cfg("bilinear"),
+                                       transport="process")
+        cfg_legacy = dataclasses.replace(cfg_fast, fastpath=False)
+        fast = CoupledDriver(cfg_fast).run(2)
+        legacy = CoupledDriver(cfg_legacy).run(2)
+        assert self._monitors(fast) == self._monitors(legacy)
+
+    def test_incremental_resume_replays_counters(self, tmp_path):
+        """Checkpoint + resume restores the donor cache: the resumed
+        run's stats and flux log replay the uninterrupted run's."""
+        from repro.coupler import CoupledDriver
+
+        cfg = dataclasses.replace(
+            _golden_cfg("bilinear"), checkpoint_every=2,
+            checkpoint_dir=tmp_path)
+        full = CoupledDriver(cfg).run(4)
+        resumed = CoupledDriver(cfg).run(
+            4, resume_from=tmp_path / "step-000002")
+        for a, b in zip(full.cus, resumed.cus):
+            assert dataclasses.astuple(a["stats"]) == \
+                dataclasses.astuple(b["stats"])
+            assert a["flux_log"] == b["flux_log"]
+        assert self._monitors(full) == self._monitors(resumed)
+
+
+class TestMetricsPromotion:
+    def test_traced_run_populates_coupler_section(self):
+        from repro.coupler import CoupledDriver
+        from repro.telemetry import metrics_summary, validate_metrics
+
+        cfg = dataclasses.replace(_golden_cfg("bilinear"), trace=True)
+        result = CoupledDriver(cfg).run(2)
+        doc = metrics_summary(result.timeline, traffic=result.traffic)
+        validate_metrics(doc)
+        coupler = doc["coupler"]
+        assert coupler["search"]["queries"] > 0
+        assert coupler["search"]["cache_hits"] > 0
+        assert coupler["search"]["comparisons_saved"] > 0
+        assert coupler["interp"]["bilinear_points"] > 0
+        assert coupler["interp"]["rounds"] > 0
+
+    def test_validate_rejects_missing_coupler_section(self):
+        from repro.telemetry import metrics_summary, validate_metrics
+        from repro.telemetry.timeline import merge_timelines
+        from repro.telemetry.recorder import RankRecorder
+
+        doc = metrics_summary(merge_timelines([RankRecorder(rank=0)]))
+        del doc["coupler"]
+        with pytest.raises(ValueError, match="coupler"):
+            validate_metrics(doc)
