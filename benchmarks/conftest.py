@@ -36,6 +36,19 @@ def report():
     return emit
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="shrink benchmark problem sizes/reps to a CI-friendly "
+             "smoke run (artifacts still written, perf bars relaxed)")
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the run is a CI smoke (small sizes, no perf bars)."""
+    return request.config.getoption("--smoke")
+
+
 def pytest_report_header(config):
     return "repro paper-reproduction benchmarks (tables II-IV, figures 7-10)"
 

@@ -438,12 +438,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ref = None
     for backend in backends:
         with op2.configure(backend=backend, profile=True,
-                           native_threads=args.threads):
+                           native_threads=args.threads, lazy=args.lazy):
             app = AirfoilApp(mesh, mach=0.4)
             app.iterate(2)  # warm wrapper/plan/compile caches
+            op2.flush_chain()
             prof.reset()
             t0 = time.perf_counter()
             app.iterate(args.iters)
+            op2.flush_chain()
             wall = time.perf_counter() - t0
         runs[backend] = {
             "wall": wall,
@@ -460,7 +462,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     base = backends[0]
     rows = []
-    for name in sorted(runs[base]["kernels"]):
+    # under --lazy, fused groups profile under joined names ("a+b")
+    # that can differ per backend (fusability differs) — only rows
+    # present on every backend are tabulated; wall always is
+    common = sorted(set(runs[base]["kernels"]).intersection(
+        *(set(runs[b]["kernels"]) for b in backends[1:])))
+    for name in common:
         row = [name]
         for b in backends:
             row.append(runs[b]["kernels"][name] * 1e3)
@@ -475,9 +482,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     headers = ["kernel"] + [f"{b} ms" for b in backends]
     if len(backends) > 1:
         headers.append(f"{base}/{backends[-1]}")
+    mode = "lazy fused chain" if args.lazy else "eager"
     print(format_table(
         headers, rows,
-        title=f"airfoil {mesh.ncell} cells, {args.iters} iterations",
+        title=f"airfoil {mesh.ncell} cells, {args.iters} iterations "
+              f"({mode})",
         floatfmt=".2f"))
 
     if args.json:
@@ -489,7 +498,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         doc = bench_summary("cli", metrics, meta={
             "cells": mesh.ncell, "edges": mesh.nedge,
             "iterations": args.iters, "backends": ",".join(backends),
-            "native_threads": args.threads})
+            "native_threads": args.threads, "lazy": args.lazy})
         validate_bench(doc)
         path = pathlib.Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -802,14 +811,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "more backends")
     p.add_argument("--backend", action="append", default=None,
                    metavar="NAME",
-                   help="repeatable; default: vectorized + native "
-                        "(native falls back to vectorized without a "
-                        "C toolchain)")
+                   help="repeatable; any of sequential, vectorized, "
+                        "atomics, blockcolor, native, native-atomics; "
+                        "default: vectorized + native (the native "
+                        "backends fall back to their numpy twins "
+                        "without a C toolchain)")
     p.add_argument("--iters", type=int, default=10)
     p.add_argument("--ni", type=int, default=64)
     p.add_argument("--nj", type=int, default=16)
     p.add_argument("--threads", type=int, default=0,
                    help="native OpenMP threads (0 = all cores)")
+    p.add_argument("--lazy", action="store_true",
+                   help="run every iteration through the lazy loop "
+                        "chain: fusable groups execute as single "
+                        "(compiled, for the native backends) fused "
+                        "wrappers")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write a bench-schema JSON summary")
     p.set_defaults(fn=_cmd_bench)

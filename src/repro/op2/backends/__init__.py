@@ -20,7 +20,16 @@ strategies for indirect increments:
                 through ``ctypes`` — direct loops flat-parallel,
                 indirect loops via the block-color plan; falls back to
                 ``vectorized`` when no compiler is available
+``native-atomics``  generated C with chunked ``#pragma omp atomic``
+                increments (the compiled CUDA-strategy analogue of
+                ``atomics``); falls back to ``atomics`` so degraded
+                runs keep the same accumulation semantics
 ==============  ========================================================
+
+The ``native`` and ``native-atomics`` backends are also *fusable*:
+under a lazy loop chain, adjacent legality-proven loops compile into
+one fused wrapper spanning a single OpenMP region (see
+:func:`~repro.op2.codegen.csource.generate_native_fused`).
 
 All backends must produce results identical to ``sequential`` up to
 floating-point reassociation; the test suite enforces this.
@@ -28,7 +37,7 @@ floating-point reassociation; the test suite enforces this.
 
 from repro.op2.backends.base import Backend, ReductionBuffers
 from repro.op2.backends.blockcolor import BlockColorBackend
-from repro.op2.backends.native import NativeBackend
+from repro.op2.backends.native import NativeAtomicsBackend, NativeBackend
 from repro.op2.backends.sanitizer import RaceError, RaceFinding, SanitizerBackend
 from repro.op2.backends.sequential import SequentialBackend
 from repro.op2.backends.vectorized import AtomicsBackend, ColoringBackend, VectorizedBackend
@@ -41,6 +50,7 @@ BACKENDS: dict[str, Backend] = {
     "blockcolor": BlockColorBackend(),
     "sanitizer": SanitizerBackend(),
     "native": NativeBackend(),
+    "native-atomics": NativeAtomicsBackend(),
 }
 
 
@@ -57,4 +67,5 @@ def resolve_backend(name: str) -> Backend:
 __all__ = ["Backend", "ReductionBuffers", "BACKENDS", "resolve_backend",
            "SequentialBackend", "VectorizedBackend", "ColoringBackend",
            "AtomicsBackend", "BlockColorBackend", "SanitizerBackend",
-           "NativeBackend", "RaceError", "RaceFinding"]
+           "NativeBackend", "NativeAtomicsBackend", "RaceError",
+           "RaceFinding"]

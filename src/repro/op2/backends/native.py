@@ -13,6 +13,14 @@ Execution strategies mirror the Python backends exactly:
 * loops with indirect writes execute the **block-color plan** (the
   OP2 OpenMP strategy): same-colored blocks share no write target and
   run team-parallel, colors are separated by barriers;
+* the ``native-atomics`` backend instead cuts the range into
+  ``Config.atomics_block``-sized chunks and resolves indirect
+  increments with ``#pragma omp atomic`` — the compiled form of the
+  CUDA strategy the numpy ``atomics`` backend simulates;
+* under a lazy loop chain both native backends are *fusable*: a
+  legality-proven group compiles into one wrapper whose single OpenMP
+  region spans every section (``execute_fused``), with per-section
+  plan arrays concatenated onto the ABI tail;
 * global reductions accumulate into thread-private staging folded
   under ``#pragma omp critical``, into the caller's
   :class:`~repro.op2.backends.base.ReductionBuffers` partials — so
@@ -49,13 +57,16 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.op2.access import Access
 from repro.op2.backends.base import ReductionBuffers
-from repro.op2.backends.vectorized import VectorizedBackend
-from repro.op2.codegen.csource import (generate_native, native_entry_name,
+from repro.op2.backends.vectorized import AtomicsBackend, VectorizedBackend
+from repro.op2.codegen.csource import (generate_native, generate_native_fused,
+                                       native_entry_name,
+                                       native_fused_entry_name,
                                        native_is_planned)
 from repro.op2.config import current_config
 from repro.op2.kernel import KernelParseError
-from repro.op2.plan import build_block_plan
+from repro.op2.plan import build_block_plan, clear_native_plan_arrays
 from repro.telemetry.recorder import active_recorder, span
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -74,10 +85,18 @@ _warned = False
 
 
 def reset_native_state() -> None:
-    """Re-arm the warn-once fallback notice (tests)."""
+    """Re-arm the warn-once notice and drop cached native plan arrays.
+
+    Tests that switch toolchains (``REPRO_CC``/``REPRO_CACHE_DIR``)
+    between runs call this; clearing the flattened plan-ABI arrays
+    cached on live :class:`~repro.op2.plan.BlockPlan` objects keeps a
+    backend switch from observing arrays built for a previous
+    configuration.
+    """
     global _warned
     with _warn_lock:
         _warned = False
+    clear_native_plan_arrays()
 
 
 def toolchain() -> tuple[str, list[str]] | None:
@@ -104,13 +123,14 @@ def cache_dir() -> Path:
                 or "~/.cache/repro-op2").expanduser()
 
 
-def _so_path(kernel, source: str, cc: str, cflags: list[str]) -> Path:
+def _so_path(stem: str, source: str, cc: str, cflags: list[str]) -> Path:
     digest = hashlib.sha256(
         "\x00".join([source, cc, " ".join(cflags)]).encode()).hexdigest()[:16]
-    return cache_dir() / f"{kernel.name}_{digest}.so"
+    return cache_dir() / f"{stem[:80]}_{digest}.so"
 
 
-def compiled_path(kernel, nsig: tuple) -> Path | None:
+def compiled_path(kernel, nsig: tuple,
+                  strategy: str = "blockcolor") -> Path | None:
     """Cache location of the compiled wrapper for ``(kernel, nsig)``.
 
     ``nsig`` is the loop's
@@ -123,7 +143,8 @@ def compiled_path(kernel, nsig: tuple) -> Path | None:
     if tc is None:
         return None
     cc, cflags = tc
-    return _so_path(kernel, generate_native(kernel, nsig), cc, cflags)
+    return _so_path(kernel.name, generate_native(kernel, nsig, strategy),
+                    cc, cflags)
 
 
 class _NativeEntry:
@@ -138,6 +159,20 @@ class _NativeEntry:
         self.source = source
         self.path = path
         self._lib = lib  # keeps the dlopen handle alive
+
+
+class _FusedEntry:
+    """A loaded fused-chain wrapper plus its per-section plan layout."""
+
+    __slots__ = ("fn", "planned_idx", "source", "path", "_lib")
+
+    def __init__(self, fn, planned_idx: tuple[int, ...], source: str,
+                 path: Path, lib) -> None:
+        self.fn = fn
+        self.planned_idx = planned_idx  #: sections needing plan arrays
+        self.source = source
+        self.path = path
+        self._lib = lib
 
 
 class _Fallback:
@@ -179,19 +214,15 @@ def _compile(source: str, cc: str, cflags: list[str],
     return None
 
 
-def _build_entry(kernel, nsig: tuple) -> "_NativeEntry | _Fallback":
+def _load_compiled(source: str, stem: str, entry_name: str
+                   ) -> "tuple | _Fallback":
+    """Compile (or reuse) ``source`` and dlopen it; ``(fn, path, lib)``."""
     rec = active_recorder()
     tc = toolchain()
     if tc is None:
         return _Fallback("no C toolchain (set REPRO_CC or install cc/gcc)")
     cc, cflags = tc
-    try:
-        with span("native.generate", "op2.native", kernel=kernel.name):
-            source = generate_native(kernel, nsig)
-    except KernelParseError as exc:
-        return _Fallback(f"C generation failed for {kernel.name!r}: {exc}")
-    so_path = _so_path(kernel, source, cc, cflags)
-
+    so_path = _so_path(stem, source, cc, cflags)
     with _compile_lock:
         for attempt in (0, 1):
             if not so_path.exists():
@@ -203,7 +234,7 @@ def _build_entry(kernel, nsig: tuple) -> "_NativeEntry | _Fallback":
             try:
                 with span("native.load", "op2.native", path=so_path.name):
                     lib = ctypes.CDLL(str(so_path))
-                    fn = getattr(lib, native_entry_name(kernel))
+                    fn = getattr(lib, entry_name)
             except (OSError, AttributeError):
                 # corrupted or stale cache entry: rebuild exactly once
                 if rec is not None:
@@ -211,19 +242,56 @@ def _build_entry(kernel, nsig: tuple) -> "_NativeEntry | _Fallback":
                 so_path.unlink(missing_ok=True)
                 if attempt:
                     return _Fallback(
-                        f"compiled object for {kernel.name!r} unusable "
+                        f"compiled object for {stem!r} unusable "
                         "even after recompiling")
                 continue
             fn.restype = None
-            return _NativeEntry(fn, native_is_planned(nsig), source,
-                                so_path, lib)
+            return fn, so_path, lib
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _build_entry(kernel, nsig: tuple,
+                 strategy: str = "blockcolor") -> "_NativeEntry | _Fallback":
+    try:
+        with span("native.generate", "op2.native", kernel=kernel.name):
+            source = generate_native(kernel, nsig, strategy)
+    except KernelParseError as exc:
+        return _Fallback(f"C generation failed for {kernel.name!r}: {exc}")
+    loaded = _load_compiled(source, kernel.name,
+                            native_entry_name(kernel, strategy))
+    if isinstance(loaded, _Fallback):
+        return loaded
+    fn, so_path, lib = loaded
+    planned = strategy == "blockcolor" and native_is_planned(nsig)
+    return _NativeEntry(fn, planned, source, so_path, lib)
+
+
+def _build_fused_entry(kernels, nsigs: list[tuple],
+                       strategy: str = "blockcolor"
+                       ) -> "_FusedEntry | _Fallback":
+    names = "+".join(k.name for k in kernels)
+    try:
+        with span("native.generate", "op2.native", kernel=names):
+            source = generate_native_fused(kernels, nsigs, strategy)
+    except KernelParseError as exc:
+        return _Fallback(f"C generation failed for fused {names!r}: {exc}")
+    stem = "fused_" + "_".join(k.name for k in kernels)
+    loaded = _load_compiled(source, stem,
+                            native_fused_entry_name(kernels, strategy))
+    if isinstance(loaded, _Fallback):
+        return loaded
+    fn, so_path, lib = loaded
+    planned_idx = tuple(
+        j for j, nsig in enumerate(nsigs)
+        if strategy == "blockcolor" and native_is_planned(nsig))
+    return _FusedEntry(fn, planned_idx, source, so_path, lib)
 
 
 class NativeBackend:
     """Compiled-C execution through the block-color plan (OpenMP)."""
 
     name = "native"
+    strategy = "blockcolor"
     _fallback = VectorizedBackend()
 
     def execute(self, loop: "ParLoop", start: int, end: int,
@@ -236,16 +304,7 @@ class NativeBackend:
             return
         cfg = current_config()
         c_void_p, c_ll = ctypes.c_void_p, ctypes.c_longlong
-        argv: list = []
-        for i, arg in enumerate(loop.args):
-            if arg.is_global:
-                buf = (reductions.buffer_for(i) if arg.is_reduction
-                       else arg.data._data)
-                argv.append(c_void_p(buf.ctypes.data))
-                continue
-            argv.append(c_void_p(arg.data._data.ctypes.data))
-            if arg.is_indirect:
-                argv.append(c_void_p(arg.map.values.ctypes.data))
+        argv: list = self._loop_argv(loop, reductions)
         if entry.planned:
             plan = build_block_plan(loop.args, end,
                                     block_size=cfg.block_size)
@@ -256,29 +315,121 @@ class NativeBackend:
                      c_ll(col_off.size - 1)]
         else:
             argv += [c_ll(start), c_ll(end)]
+            if self.strategy == "atomics":
+                block = max(1, cfg.atomics_block)
+                argv.append(c_ll(block))
+                rec = active_recorder()
+                if rec is not None:
+                    rec.counter("op2.native.atomics_loops")
+                    rec.counter("op2.native.atomics_blocks",
+                                max(0, -(-(end - start) // block)))
         argv.append(c_ll(cfg.native_threads))
         entry.fn(*argv)
+
+    def execute_fused(self, loops: "list[ParLoop]", start: int, end: int,
+                      reductions: list[ReductionBuffers]) -> None:
+        """Run a legality-proven group through one fused wrapper.
+
+        On any fallback (no toolchain, unsupported dtype, generation
+        or compile failure) the group degrades to per-loop
+        :meth:`execute` calls over the same range — bitwise-identical
+        to the fused wrapper, so lazy-vs-eager equivalence holds on
+        every degradation path.
+        """
+        entry = self._fused_entry_for(loops)
+        rec = active_recorder()
+        if isinstance(entry, _Fallback):
+            if rec is not None:
+                rec.counter("op2.native.fused_fallback")
+            if entry.warn:
+                self._warn_and_count(entry.reason)
+            for loop, red in zip(loops, reductions):
+                self.execute(loop, start, end, red)
+            return
+        cfg = current_config()
+        c_void_p, c_ll = ctypes.c_void_p, ctypes.c_longlong
+        argv: list = []
+        for loop, red in zip(loops, reductions):
+            argv.extend(self._loop_argv(loop, red))
+        keepalive = []
+        for j in entry.planned_idx:
+            plan = build_block_plan(loops[j].args, end,
+                                    block_size=cfg.block_size)
+            blk_lo, blk_hi, col_off = plan.native_arrays(start, end)
+            keepalive.append((blk_lo, blk_hi, col_off))
+            argv += [c_void_p(blk_lo.ctypes.data),
+                     c_void_p(blk_hi.ctypes.data),
+                     c_void_p(col_off.ctypes.data),
+                     c_ll(col_off.size - 1)]
+        block = max(1, cfg.atomics_block)
+        argv += [c_ll(start), c_ll(end), c_ll(block),
+                 c_ll(cfg.native_threads)]
+        entry.fn(*argv)
+        del keepalive
+        if rec is not None:
+            rec.counter("op2.native.fused_groups")
+            rec.counter("op2.native.fused_loops", len(loops))
+            if self.strategy == "atomics":
+                rec.counter("op2.native.atomics_loops", len(loops))
+                rec.counter("op2.native.atomics_blocks",
+                            len(loops) * max(0, -(-(end - start) // block)))
+
+    @staticmethod
+    def _loop_argv(loop: "ParLoop", reductions: ReductionBuffers) -> list:
+        """The per-argument ctypes pointers of one loop's ABI slice."""
+        c_void_p = ctypes.c_void_p
+        argv: list = []
+        for i, arg in enumerate(loop.args):
+            if arg.is_global:
+                buf = (reductions.buffer_for(i) if arg.is_reduction
+                       else arg.data._data)
+                argv.append(c_void_p(buf.ctypes.data))
+                continue
+            argv.append(c_void_p(arg.data._data.ctypes.data))
+            if arg.is_indirect:
+                argv.append(c_void_p(arg.map.values.ctypes.data))
+        return argv
 
     def _entry_for(self, loop: "ParLoop") -> "_NativeEntry | _Fallback":
         unsupported = self._unsupported(loop)
         if unsupported is not None:
             return unsupported
-        key = ("native", loop.native_signature())
+        key = (self.name, loop.native_signature())
         entry = loop.kernel.cached(key)
         if entry is not None:
             rec = active_recorder()
             if rec is not None:
                 rec.counter("op2.native.cache_hit_mem")
             return entry
-        entry = _build_entry(loop.kernel, key[1])
+        entry = _build_entry(loop.kernel, key[1], self.strategy)
         source = entry.source if isinstance(entry, _NativeEntry) else ""
         loop.kernel.store(key, entry, source)
         return entry
 
-    @staticmethod
-    def _unsupported(loop: "ParLoop") -> "_Fallback | None":
+    def _fused_entry_for(self, loops: "list[ParLoop]"
+                         ) -> "_FusedEntry | _Fallback":
+        for loop in loops:
+            unsupported = self._unsupported(loop)
+            if unsupported is not None:
+                return unsupported
+        key = (f"{self.name}-fused",
+               tuple((id(l.kernel), l.native_signature()) for l in loops))
+        entry = loops[0].kernel.cached(key)
+        if entry is not None:
+            rec = active_recorder()
+            if rec is not None:
+                rec.counter("op2.native.cache_hit_mem")
+            return entry
+        entry = _build_fused_entry([l.kernel for l in loops],
+                                   [l.native_signature() for l in loops],
+                                   self.strategy)
+        source = entry.source if isinstance(entry, _FusedEntry) else ""
+        loops[0].kernel.store(key, entry, source)
+        return entry
+
+    def _unsupported(self, loop: "ParLoop") -> "_Fallback | None":
         """The compiled ABI is float64/contiguous only; anything else
-        routes to the vectorized backend (counted, but not warned — it
+        routes to the fallback backend (counted, but not warned — it
         is a capability gap, not an environment failure)."""
         for arg in loop.args:
             arr = arg.data._data
@@ -291,8 +442,7 @@ class NativeBackend:
                     warn=False)
         return None
 
-    @staticmethod
-    def _warn_and_count(reason: str) -> None:
+    def _warn_and_count(self, reason: str) -> None:
         global _warned
         rec = active_recorder()
         if rec is not None:
@@ -302,6 +452,44 @@ class NativeBackend:
                 return
             _warned = True
         warnings.warn(
-            f"native backend unavailable ({reason}); "
-            "falling back to the vectorized backend",
+            f"{self.name} backend unavailable ({reason}); "
+            f"falling back to the {self._fallback.name} backend",
             RuntimeWarning, stacklevel=3)
+
+
+class NativeAtomicsBackend(NativeBackend):
+    """Compiled-C execution with chunked ``#pragma omp atomic`` scatter.
+
+    The compiled analogue of the numpy :class:`~repro.op2.backends.
+    vectorized.AtomicsBackend` (itself the CUDA-grid simulation): the
+    iteration space is cut into :func:`~repro.op2.backends.vectorized.
+    atomics_chunks` of ``Config.atomics_block`` elements, every
+    indirect increment is an ``#pragma omp atomic``, and no
+    block-color plan is ever built. Falls back to the numpy atomics
+    backend — not vectorized — so degraded runs keep the same
+    chunk-serial accumulation semantics.
+    """
+
+    name = "native-atomics"
+    strategy = "atomics"
+    _fallback = AtomicsBackend()
+
+    def _unsupported(self, loop: "ParLoop") -> "_Fallback | None":
+        base = super()._unsupported(loop)
+        if base is not None:
+            return base
+        # atomics only resolve increment races: an indirect WRITE/RW
+        # would be a plain multi-thread data race in the compiled
+        # wrapper, while the numpy simulation stays deterministic —
+        # route such loops to the simulation
+        for arg in loop.args:
+            if (arg.is_indirect
+                    and arg.access not in (Access.READ, Access.INC)):
+                rec = active_recorder()
+                if rec is not None:
+                    rec.counter("op2.native.unsupported")
+                return _Fallback(
+                    f"indirect {arg.access.name} on {arg.data.name!r} "
+                    "needs a plan; atomics only cover increments",
+                    warn=False)
+        return None

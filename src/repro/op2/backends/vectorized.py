@@ -54,6 +54,20 @@ def _get_fused_wrapper(loops: "list[ParLoop]", scatter: str):
     return wrapper
 
 
+def atomics_chunks(start: int, end: int, block: int):
+    """Yield the ``(lo, hi)`` simulated thread-block ranges of [start, end).
+
+    Shared by the numpy ``atomics`` backend and the compiled
+    ``native-atomics`` backend so both slice the iteration space into
+    the *same* chunks (``Config.atomics_block`` elements each) — the
+    accumulation semantics the differential tests pin are defined in
+    terms of these ranges.
+    """
+    block = max(1, block)
+    for lo in range(start, end, block):
+        yield lo, min(lo + block, end)
+
+
 #: per-kernel row-index arrays, keyed (start, end); lives beside the
 #: kernel's wrapper cache but dies with the kernel (weak keys)
 _rows_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
@@ -137,10 +151,9 @@ class AtomicsBackend:
                 reductions: ReductionBuffers) -> None:
         wrapper = _get_wrapper(loop, "atomic")
         flat = loop.flatten_bindings(reductions)
-        block = max(1, current_config().atomics_block)
-        for lo in range(start, end, block):
-            rows = _get_rows(loop.kernel, lo, min(lo + block, end))
-            wrapper(np, rows, *flat)
+        for lo, hi in atomics_chunks(start, end,
+                                     current_config().atomics_block):
+            wrapper(np, _get_rows(loop.kernel, lo, hi), *flat)
 
     def execute_fused(self, loops: "list[ParLoop]", start: int, end: int,
                       reductions: list[ReductionBuffers]) -> None:
@@ -149,7 +162,6 @@ class AtomicsBackend:
         wrapper = _get_fused_wrapper(loops, "atomic")
         flat = [x for l, r in zip(loops, reductions)
                 for x in l.flatten_bindings(r)]
-        block = max(1, current_config().atomics_block)
-        for lo in range(start, end, block):
-            rows = _get_rows(loops[0].kernel, lo, min(lo + block, end))
-            wrapper(np, rows, *flat)
+        for lo, hi in atomics_chunks(start, end,
+                                     current_config().atomics_block):
+            wrapper(np, _get_rows(loops[0].kernel, lo, hi), *flat)

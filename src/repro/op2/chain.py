@@ -56,8 +56,11 @@ from repro.telemetry.recorder import active_recorder, span as _tspan
 if TYPE_CHECKING:  # pragma: no cover
     from repro.op2.parloop import ParLoop
 
-#: backends whose generated wrappers support source-level fusion
-FUSABLE_BACKENDS = frozenset({"sequential", "vectorized", "atomics"})
+#: backends whose generated wrappers support source-level fusion — the
+#: numpy backends via generated fused modules, the native backends via
+#: one compiled OpenMP region spanning the whole group
+FUSABLE_BACKENDS = frozenset({"sequential", "vectorized", "atomics",
+                              "native", "native-atomics"})
 
 #: bound on fused-group size, to keep generated modules small
 MAX_FUSE = 8

@@ -20,21 +20,30 @@ class Config:
     ----------
     backend:
         Default compute backend: ``"sequential"``, ``"vectorized"``,
-        ``"coloring"``, ``"atomics"``, ``"blockcolor"`` or ``"native"``
-        (compiled C via the host toolchain; falls back to
-        ``"vectorized"`` when no compiler is available).
+        ``"coloring"``, ``"atomics"``, ``"blockcolor"``, ``"native"``
+        (compiled C via the host toolchain, block-color plan; falls
+        back to ``"vectorized"`` when no compiler is available) or
+        ``"native-atomics"`` (compiled C with chunked
+        ``#pragma omp atomic`` increments; falls back to
+        ``"atomics"``).
     native_threads:
-        OpenMP thread count of the ``native`` backend's compiled
-        wrappers; ``0`` (default) lets the OpenMP runtime decide
-        (``omp_get_max_threads``, honouring ``OMP_NUM_THREADS``).
+        OpenMP thread count of the native backends' compiled wrappers
+        (single-loop and fused-chain alike); ``0`` (default) lets the
+        OpenMP runtime decide (``omp_get_max_threads``, honouring
+        ``OMP_NUM_THREADS``). With more than one thread, global
+        reductions fold thread partials in nondeterministic order —
+        pin ``native_threads=1`` where bitwise-reproducible reductions
+        matter.
     partial_halos:
         Enable the partial-halo-exchange optimization (paper's PH).
     grouped_halos:
         Pack all of a loop's halo messages to one neighbour into a
         single message (paper's GH).
     atomics_block:
-        Chunk size of the atomics (CUDA-analogue) backend — the
-        simulated thread-block extent.
+        Chunk size of the atomics (CUDA-analogue) backends — the
+        simulated thread-block extent, shared by the numpy
+        ``atomics`` simulation and the compiled ``native-atomics``
+        wrappers so both accumulate in the same chunk order.
     block_size:
         Block extent of the blockcolor (OpenMP-plan analogue) backend.
     profile:

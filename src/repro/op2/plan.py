@@ -271,6 +271,22 @@ def clear_plan_cache() -> None:
     _plan_cache.clear()
 
 
+def clear_native_plan_arrays() -> None:
+    """Drop the flattened native-ABI arrays cached on live block plans.
+
+    The coloring itself stays valid across native-backend resets (it
+    depends only on maps and extents), but the flattened
+    ``(blk_lo, blk_hi, col_off)`` arrays are part of the compiled
+    wrappers' ABI — :func:`~repro.op2.backends.native.
+    reset_native_state` clears them so backend-switching tests never
+    observe stale plan arrays from a previous toolchain configuration.
+    """
+    for plan in _plan_cache.values():
+        cache = getattr(plan, "_native_cache", None)
+        if cache:
+            cache.clear()
+
+
 def validate_coloring(args, plan: Plan) -> bool:
     """Check no color group has an intra-unit duplicate scatter target."""
     for unit in conflict_units(args, plan.extent):

@@ -17,3 +17,13 @@ def smpi_transport(request, monkeypatch):
     """Run the test once per transport via the env-default mechanism."""
     monkeypatch.setenv("REPRO_SMPI_TRANSPORT", request.param)
     return request.param
+
+
+@pytest.fixture(params=["native", "native-atomics"])
+def native_chain_backend(request):
+    """Parameterize a test over both compiled backends' chain paths.
+
+    Application-level equivalence suites take this fixture to certify
+    the block-color-plan and omp-atomic compiled strategies alike.
+    """
+    return request.param

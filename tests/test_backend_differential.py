@@ -1,26 +1,40 @@
-"""Differential certification of the compiled native backend.
+"""Differential certification across the full backend × mode matrix.
 
-The native backend is the first path where results come from *compiled
-machine code* rather than numpy — so it is certified differentially,
-not trusted: hypothesis-generated kernels (direct/indirect, INC/RW/READ
-mixes, read globals, INC/MIN/MAX reductions) run on the sequential,
-vectorized, blockcolor, and native backends and must agree.
+The compiled native backends are the first paths where results come
+from *machine code* rather than numpy — so they are certified
+differentially, not trusted: hypothesis-generated kernels
+(direct/indirect, INC/RW/READ mixes, read globals, INC/MIN/MAX
+reductions) run on every backend of
 
-Tolerance model (see ``backends/native.py``): the elemental arithmetic
-pool here is restricted to correctly-rounded operations (+, -, *, /,
-sqrt, fabs, min, max, comparisons), and native is compiled with
-``-ffp-contract=off``, so dat outputs must match blockcolor **bitwise**
-whenever each location receives increments through at most one kernel
-statement — both backends then execute the identical block-color plan
-order. Kernels where several INC statements alias one dat reassociate
-(numpy scatters per statement, C per element) and are ULP-bounded at
-1e-12 relative instead, as are global reductions (numpy partial folds
-vs C sequential accumulation) and all comparisons against sequential,
-whose scatter order differs legitimately.
+    {sequential, vectorized, atomics, blockcolor,
+     native, native-atomics}  x  {eager, lazy loop-chain}
+
+and must agree. The lazy column enqueues a direct prep loop ahead of
+the main kernel so the chain actually *fuses* on fusable backends —
+compiled fused wrappers are certified by the same matrix, not by
+separate ad-hoc tests.
+
+Tolerance model (see ``backends/native.py``):
+
+* **lazy == eager is bitwise, per backend** — the loop-chain contract
+  (``native_threads`` is pinned to 1 here so global reductions are
+  deterministic in the compiled wrappers too);
+* the elemental arithmetic pool is restricted to correctly-rounded
+  operations (+, -, *, /, sqrt, fabs, min, max, comparisons) and
+  native code is compiled with ``-ffp-contract=off``, so dat outputs
+  pin **bitwise** along matched accumulation orders: native ==
+  blockcolor (identical block-color plan order) and native-atomics ==
+  atomics (identical ``atomics_block`` chunk order) whenever each
+  location receives increments through at most one kernel statement;
+* kernels where several INC statements alias one dat reassociate
+  (numpy scatters per statement, C per element) and are ULP-bounded
+  at 1e-12 relative instead, as are global reductions and all
+  comparisons against sequential, whose scatter order differs
+  legitimately.
 
 When no C toolchain is present the native entries transparently run
-the vectorized fallback; the cross-backend tolerance assertions still
-hold, so this whole suite doubles as the no-compiler fallback proof.
+their numpy fallbacks (vectorized / atomics); every assertion still
+holds, so this whole suite doubles as the no-compiler fallback proof.
 A derandomized seed corpus of hand-written kernels is checked in
 below; the hypothesis runs are derandomized too, keeping CI stable.
 """
@@ -32,27 +46,59 @@ from hypothesis import strategies as st
 
 from repro import op2
 from repro.op2.backends.native import toolchain
+from repro.op2.chain import FUSABLE_BACKENDS
 
-BACKENDS = ["sequential", "vectorized", "blockcolor", "native"]
+BACKENDS = ["sequential", "vectorized", "atomics", "blockcolor",
+            "native", "native-atomics"]
+#: bitwise pins along matched accumulation orders (eager AND lazy)
+BITWISE_PAIRS = [("native", "blockcolor"), ("native-atomics", "atomics")]
 NATIVE_AVAILABLE = toolchain() is not None
 
 
-def assert_backends_agree(run_fn, bitwise=True):
-    """``run_fn(backend) -> (dats: dict, reductions: dict)``; certify.
+def assert_backends_agree(run_fn, bitwise=True, expect_fused=False):
+    """``run_fn(backend, lazy) -> (dats: dict, reductions: dict)``.
 
-    ``bitwise`` additionally pins native == blockcolor exactly. That
-    holds when every dat location receives increments through at most
-    one kernel statement: both backends then apply them in identical
-    (block-color plan) order, and the restricted op pool is correctly
-    rounded. Pass ``bitwise=False`` for kernels where several INC
-    statements alias one dat — numpy scatters per *statement* within a
-    block while C interleaves per *element*, a legitimate
-    reassociation.
+    Runs the full backend × {eager, lazy} matrix and certifies:
+
+    1. lazy == eager **bitwise** for every backend (dats and
+       reductions — the loop-chain contract);
+    2. every backend within 1e-12 relative of sequential;
+    3. when ``bitwise``, native == blockcolor and native-atomics ==
+       atomics exactly, in both modes. That holds when every dat
+       location receives increments through at most one kernel
+       statement: each pair then applies them in identical (plan /
+       chunk) order, and the restricted op pool is correctly rounded.
+       Pass ``bitwise=False`` for kernels where several INC statements
+       alias one dat — numpy scatters per *statement* while C
+       interleaves per *element*, a legitimate reassociation.
+
+    ``expect_fused`` additionally asserts the chain fused at least one
+    pair of loops on every fusable backend's lazy run.
     """
-    results = {b: run_fn(b) for b in BACKENDS}
-    ref_dats, ref_reds = results["sequential"]
+    results = {}
+    for backend in BACKENDS:
+        for lazy in (False, True):
+            if lazy:
+                op2.reset_chain_stats()
+            results[(backend, lazy)] = run_fn(backend, lazy)
+            if lazy and expect_fused and backend in FUSABLE_BACKENDS:
+                st_ = op2.chain_stats().as_dict()
+                assert st_["fused"] >= 1, \
+                    f"chain must fuse on backend {backend}"
+
+    for backend in BACKENDS:
+        e_dats, e_reds = results[(backend, False)]
+        l_dats, l_reds = results[(backend, True)]
+        for name in e_dats:
+            assert np.array_equal(l_dats[name], e_dats[name]), \
+                f"dat {name!r}: lazy != eager on backend {backend}"
+        for name in e_reds:
+            assert l_reds[name] == e_reds[name], \
+                f"reduction {name!r}: lazy != eager on backend {backend}"
+
+    ref_dats, ref_reds = results[("sequential", False)]
     for backend in BACKENDS[1:]:
-        dats, reds = results[backend]
+        dats, reds = results[(backend, False)]
         for name, arr in dats.items():
             np.testing.assert_allclose(
                 arr, ref_dats[name], rtol=1e-12, atol=1e-13,
@@ -60,12 +106,16 @@ def assert_backends_agree(run_fn, bitwise=True):
         for name, val in reds.items():
             assert val == pytest.approx(ref_reds[name], rel=1e-12, abs=1e-13), \
                 f"reduction {name!r} diverged on backend {backend}"
+
     if bitwise and NATIVE_AVAILABLE:
-        nat_dats, _ = results["native"]
-        blk_dats, _ = results["blockcolor"]
-        for name in nat_dats:
-            assert np.array_equal(nat_dats[name], blk_dats[name]), \
-                f"dat {name!r}: native is not bitwise-equal to blockcolor"
+        for nat, ref in BITWISE_PAIRS:
+            for lazy in (False, True):
+                nat_dats, _ = results[(nat, lazy)]
+                ref_dats2, _ = results[(ref, lazy)]
+                for name in nat_dats:
+                    assert np.array_equal(nat_dats[name], ref_dats2[name]), \
+                        (f"dat {name!r}: {nat} is not bitwise-equal to "
+                         f"{ref} (lazy={lazy})")
 
 
 # -- hypothesis-generated kernels ---------------------------------------
@@ -74,8 +124,8 @@ def _expressions(leaves):
     """Strategy for kernel-language expressions over the given leaves.
 
     Every operation in the pool is correctly rounded (IEEE 754), which
-    is what licenses the bitwise native-vs-blockcolor assertion;
-    division is guarded away from zero and sqrt from negatives.
+    is what licenses the bitwise accumulation-order pins; division is
+    guarded away from zero and sqrt from negatives.
     """
     leaf = st.one_of(
         st.sampled_from(leaves),
@@ -139,19 +189,29 @@ def _fuzz_kernel_source(dw, rw, red, w_exprs, inc_expr, red_expr):
     return "\n".join(lines)
 
 
+#: direct prep loop enqueued ahead of the fuzz kernel — reads/writes
+#: the fuzz kernel's direct input, so the lazy column exercises actual
+#: loop fusion (the fused compiled wrappers) on fusable backends
+FUZZ_PREP = """
+def fuzz_prep(c):
+    c[0] = 0.5 * c[0] + 0.125
+"""
+
+
 @given(fuzz_spec())
 @settings(max_examples=15, deadline=None, derandomize=True)
 def test_fuzzed_kernels_agree(spec):
     (nnodes, table, da, dc, dw, rw, inc_col, red,
      w_exprs, inc_expr, red_expr, seed) = spec
     source = _fuzz_kernel_source(dw, rw, red, w_exprs, inc_expr, red_expr)
-    kernel = op2.Kernel(source)  # one kernel: wrappers compile once
+    kernel = op2.Kernel(source)     # one kernel: wrappers compile once
+    prep = op2.Kernel(FUZZ_PREP)
     nedges = table.shape[0]
     red_access, red_init = {
         "inc": (op2.INC, 0.0), "min": (op2.MIN, np.inf),
         "max": (op2.MAX, -np.inf)}[red]
 
-    def run(backend):
+    def run(backend, lazy):
         rng = np.random.default_rng(seed)
         nodes = op2.Set(nnodes, "nodes")
         edges = op2.Set(nedges, "edges")
@@ -162,16 +222,19 @@ def test_fuzzed_kernels_agree(spec):
         inc = op2.Dat(nodes, 1, rng.normal(size=(nnodes, 1)), name="inc")
         g = op2.Global(1, 0.75, name="g")
         r = op2.Global(1, red_init, name="r")
-        op2.par_loop(kernel, edges,
-                     a.arg(op2.READ, emap, 0), c.arg(op2.READ),
-                     g.arg(op2.READ),
-                     w.arg(op2.RW if rw else op2.WRITE),
-                     inc.arg(op2.INC, emap, inc_col),
-                     r.arg(red_access), backend=backend)
+        with op2.configure(backend=backend, lazy=lazy, native_threads=1):
+            with op2.loop_chain("fuzz", enabled=lazy):
+                op2.par_loop(prep, edges, c.arg(op2.RW))
+                op2.par_loop(kernel, edges,
+                             a.arg(op2.READ, emap, 0), c.arg(op2.READ),
+                             g.arg(op2.READ),
+                             w.arg(op2.RW if rw else op2.WRITE),
+                             inc.arg(op2.INC, emap, inc_col),
+                             r.arg(red_access))
         return ({"w": w.data_ro.copy(), "inc": inc.data_ro.copy()},
                 {"r": r.value})
 
-    assert_backends_agree(run)
+    assert_backends_agree(run, expect_fused=True)
 
 
 # -- derandomized seed corpus -------------------------------------------
@@ -227,22 +290,27 @@ def _mesh(seed, nnodes=17, nedges=33, arity=2):
 
 
 def test_corpus_saxpy_direct():
-    def run(backend):
+    kernel = op2.Kernel(SAXPY)
+
+    def run(backend, lazy):
         rng = np.random.default_rng(11)
         cells = op2.Set(20, "cells")
         x = op2.Dat(cells, 3, rng.normal(size=(20, 3)), name="x")
         y = op2.Dat(cells, 3, name="y")
         g = op2.Global(1, -0.25, name="g")
-        op2.par_loop(op2.Kernel(SAXPY), cells, x.arg(op2.READ),
-                     y.arg(op2.WRITE), g.arg(op2.READ), backend=backend)
+        with op2.configure(backend=backend, lazy=lazy, native_threads=1):
+            with op2.loop_chain("saxpy", enabled=lazy):
+                op2.par_loop(kernel, cells, x.arg(op2.READ),
+                             y.arg(op2.WRITE), g.arg(op2.READ))
         return {"y": y.data_ro.copy()}, {}
     assert_backends_agree(run)
 
 
 def test_corpus_edge_flux_indirect_inc():
     nnodes, nedges, table, _ = _mesh(5)
+    kernel = op2.Kernel(EDGE_FLUX)
 
-    def run(backend):
+    def run(backend, lazy):
         rng = np.random.default_rng(7)
         nodes = op2.Set(nnodes, "nodes")
         edges = op2.Set(nedges, "edges")
@@ -251,11 +319,16 @@ def test_corpus_edge_flux_indirect_inc():
         q = op2.Dat(nodes, 1, rng.normal(size=(nnodes, 1)), name="q")
         res = op2.Dat(nodes, 1, rng.normal(size=(nnodes, 1)), name="res")
         rms = op2.Global(1, 0.0, name="rms")
-        op2.par_loop(op2.Kernel(EDGE_FLUX), edges,
-                     x.arg(op2.READ, pedge, 0), x.arg(op2.READ, pedge, 1),
-                     q.arg(op2.READ, pedge, 0), q.arg(op2.READ, pedge, 1),
-                     res.arg(op2.INC, pedge, 0), res.arg(op2.INC, pedge, 1),
-                     rms.arg(op2.INC), backend=backend)
+        with op2.configure(backend=backend, lazy=lazy, native_threads=1):
+            with op2.loop_chain("flux", enabled=lazy):
+                op2.par_loop(kernel, edges,
+                             x.arg(op2.READ, pedge, 0),
+                             x.arg(op2.READ, pedge, 1),
+                             q.arg(op2.READ, pedge, 0),
+                             q.arg(op2.READ, pedge, 1),
+                             res.arg(op2.INC, pedge, 0),
+                             res.arg(op2.INC, pedge, 1),
+                             rms.arg(op2.INC))
         return {"res": res.data_ro.copy()}, {"rms": rms.value}
     # two INC statements alias `res`: reassociation only, not bitwise
     assert_backends_agree(run, bitwise=False)
@@ -263,8 +336,9 @@ def test_corpus_edge_flux_indirect_inc():
 
 def test_corpus_vector_args_min_max():
     nnodes, ncells, table, _ = _mesh(9, nnodes=14, nedges=25, arity=3)
+    kernel = op2.Kernel(CELL_GATHER)
 
-    def run(backend):
+    def run(backend, lazy):
         rng = np.random.default_rng(3)
         nodes = op2.Set(nnodes, "nodes")
         cells = op2.Set(ncells, "cells")
@@ -273,9 +347,12 @@ def test_corpus_vector_args_min_max():
         out = op2.Dat(cells, 1, name="out")
         lo = op2.Global(1, np.inf, name="lo")
         hi = op2.Global(1, -np.inf, name="hi")
-        op2.par_loop(op2.Kernel(CELL_GATHER), cells,
-                     xs.arg(op2.READ, pcell, op2.ALL), out.arg(op2.WRITE),
-                     lo.arg(op2.MIN), hi.arg(op2.MAX), backend=backend)
+        with op2.configure(backend=backend, lazy=lazy, native_threads=1):
+            with op2.loop_chain("gather", enabled=lazy):
+                op2.par_loop(kernel, cells,
+                             xs.arg(op2.READ, pcell, op2.ALL),
+                             out.arg(op2.WRITE),
+                             lo.arg(op2.MIN), hi.arg(op2.MAX))
         return {"out": out.data_ro.copy()}, {"lo": lo.value, "hi": hi.value}
     assert_backends_agree(run)
 
@@ -283,25 +360,67 @@ def test_corpus_vector_args_min_max():
 def test_corpus_integer_index_math():
     """abs/min over integer locals in array-index position (the
     type-aware ``_C_MATH`` fix) must agree across every backend."""
-    def run(backend):
+    kernel = op2.Kernel(INT_INDEX)
+
+    def run(backend, lazy):
         rng = np.random.default_rng(13)
         cells = op2.Set(12, "cells")
         x = op2.Dat(cells, 4, rng.normal(size=(12, 4)), name="x")
         y = op2.Dat(cells, 4, name="y")
-        op2.par_loop(op2.Kernel(INT_INDEX), cells, x.arg(op2.READ),
-                     y.arg(op2.WRITE), backend=backend)
+        with op2.configure(backend=backend, lazy=lazy, native_threads=1):
+            with op2.loop_chain("intidx", enabled=lazy):
+                op2.par_loop(kernel, cells, x.arg(op2.READ),
+                             y.arg(op2.WRITE))
         return {"y": y.data_ro.copy()}, {}
     assert_backends_agree(run)
 
 
 def test_corpus_rw_update_with_reduction():
-    def run(backend):
+    kernel = op2.Kernel(RW_UPDATE)
+
+    def run(backend, lazy):
         rng = np.random.default_rng(17)
         cells = op2.Set(31, "cells")
         r = op2.Dat(cells, 1, rng.normal(size=(31, 1)), name="r")
         q = op2.Dat(cells, 1, rng.normal(size=(31, 1)), name="q")
         norm = op2.Global(1, 0.0, name="norm")
-        op2.par_loop(op2.Kernel(RW_UPDATE), cells, r.arg(op2.READ),
-                     q.arg(op2.RW), norm.arg(op2.INC), backend=backend)
+        with op2.configure(backend=backend, lazy=lazy, native_threads=1):
+            with op2.loop_chain("rwupd", enabled=lazy):
+                op2.par_loop(kernel, cells, r.arg(op2.READ),
+                             q.arg(op2.RW), norm.arg(op2.INC))
         return {"q": q.data_ro.copy()}, {"norm": norm.value}
     assert_backends_agree(run)
+
+
+def test_corpus_fused_pair_direct_then_indirect():
+    """Two-loop chain (direct RW prep, then indirect INC consumer):
+    the canonical fused-wrapper shape, certified across the matrix."""
+    nnodes, nedges, table, _ = _mesh(21)
+    prep = op2.Kernel(FUZZ_PREP)
+    kernel = op2.Kernel(EDGE_FLUX)
+
+    def run(backend, lazy):
+        rng = np.random.default_rng(23)
+        nodes = op2.Set(nnodes, "nodes")
+        edges = op2.Set(nedges, "edges")
+        pedge = op2.Map(edges, nodes, 2, table, "pedge")
+        x = op2.Dat(nodes, 2, rng.normal(size=(nnodes, 2)), name="x")
+        q = op2.Dat(nodes, 1, rng.normal(size=(nnodes, 1)), name="q")
+        res = op2.Dat(nodes, 1, rng.normal(size=(nnodes, 1)), name="res")
+        c = op2.Dat(edges, 1, rng.normal(size=(nedges, 1)), name="c")
+        rms = op2.Global(1, 0.0, name="rms")
+        with op2.configure(backend=backend, lazy=lazy, native_threads=1):
+            with op2.loop_chain("pair", enabled=lazy):
+                op2.par_loop(prep, edges, c.arg(op2.RW))
+                op2.par_loop(kernel, edges,
+                             x.arg(op2.READ, pedge, 0),
+                             x.arg(op2.READ, pedge, 1),
+                             q.arg(op2.READ, pedge, 0),
+                             q.arg(op2.READ, pedge, 1),
+                             res.arg(op2.INC, pedge, 0),
+                             res.arg(op2.INC, pedge, 1),
+                             rms.arg(op2.INC))
+        return ({"c": c.data_ro.copy(), "res": res.data_ro.copy()},
+                {"rms": rms.value})
+    # EDGE_FLUX aliases `res` through two INC statements: not bitwise
+    assert_backends_agree(run, bitwise=False, expect_fused=True)

@@ -265,3 +265,156 @@ def test_native_backend_registered():
     assert "native" in BACKENDS
     assert resolve_backend("native") is native_mod.NativeBackend or \
         isinstance(resolve_backend("native"), native_mod.NativeBackend)
+
+
+def test_native_atomics_backend_registered():
+    from repro.op2.backends import BACKENDS, resolve_backend
+
+    assert "native-atomics" in BACKENDS
+    backend = resolve_backend("native-atomics")
+    assert isinstance(backend, native_mod.NativeAtomicsBackend)
+    assert backend.strategy == "atomics"
+    # degraded runs must keep atomics accumulation semantics
+    assert backend._fallback.name == "atomics"
+
+
+# -- reset_native_state must clear cached plan-ABI arrays ----------------
+
+def test_reset_native_state_clears_plan_native_cache():
+    """Regression: the flattened plan arrays cached on BlockPlans
+    survived ``reset_native_state()``, so backend-switching tests
+    could observe stale ABI arrays after a toolchain/config change."""
+    from repro.op2 import plan as plan_mod
+
+    rng = np.random.default_rng(7)
+    nodes = op2.Set(9, "nodes")
+    edges = op2.Set(14, "edges")
+    emap = op2.Map(edges, nodes, 2, rng.integers(0, 9, size=(14, 2)), "m")
+    out = op2.Dat(nodes, 1, np.zeros((9, 1)), name="out")
+    args = [out.arg(op2.INC, emap, 0)]
+    plan = plan_mod.build_block_plan(args, 14, block_size=4)
+    plan.native_arrays(0, 14)
+    assert plan._native_cache, "plan must have cached native arrays"
+    reset_native_state()
+    assert not plan._native_cache, \
+        "reset_native_state must drop cached native plan arrays"
+    # the plan itself (the coloring) survives: only the ABI arrays go
+    assert plan_mod.build_block_plan(args, 14, block_size=4) is plan
+
+
+# -- native-atomics runtime ----------------------------------------------
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+def test_native_atomics_matches_numpy_atomics_bitwise():
+    ref = _run_flux("atomics")
+    with op2.configure(native_threads=1):
+        got = _run_flux("native-atomics")
+    # one INC statement per dat + single thread: accumulation order is
+    # element order in both forms, so dats are bitwise-identical
+    assert np.array_equal(got[0], ref[0])
+    assert got[1] == pytest.approx(ref[1], rel=1e-12)
+
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+def test_native_atomics_counters_and_no_plan():
+    with telemetry.tracing() as rec:
+        with op2.configure(native_threads=1):
+            _run_flux("native-atomics")
+    assert rec.counters.get("op2.native.atomics_loops", 0) >= 1
+    assert rec.counters.get("op2.native.atomics_blocks", 0) >= 1
+    assert rec.counters.get("op2.plan.build", 0) == 0, \
+        "the atomics strategy must never build a block-color plan"
+
+
+def test_native_atomics_missing_compiler_falls_back_to_atomics(monkeypatch):
+    monkeypatch.setenv("REPRO_CC", "/nonexistent/compiler-xyz")
+    ref = _run_flux("atomics")
+    with pytest.warns(RuntimeWarning, match="atomics backend"):
+        got = _run_flux("native-atomics")
+    assert np.array_equal(got[0], ref[0]) and got[1] == ref[1]
+
+
+# -- fused chain execution -----------------------------------------------
+
+PREP = """
+def nprep(w):
+    w[0] = 1.5 * w[0] + 0.25
+"""
+
+FLUX2 = """
+def nflux2(w, a, b, out, tot):
+    f = w[0] * (a[0] - b[0])
+    out[0] += f
+    tot[0] += f * f
+"""
+
+
+def _run_fused_pair(backend, lazy, nthreads=1):
+    rng = np.random.default_rng(11)
+    nodes = op2.Set(9, "nodes")
+    edges = op2.Set(14, "edges")
+    emap = op2.Map(edges, nodes, 2, rng.integers(0, 9, size=(14, 2)), "m")
+    a = op2.Dat(nodes, 1, rng.normal(size=(9, 1)), name="a")
+    w = op2.Dat(edges, 1, rng.normal(size=(14, 1)), name="w")
+    out = op2.Dat(nodes, 1, np.zeros((9, 1)), name="out")
+    tot = op2.Global(1, 0.0, name="tot")
+    with op2.configure(backend=backend, lazy=lazy, native_threads=nthreads):
+        with op2.loop_chain("pair", enabled=lazy):
+            op2.par_loop(op2.Kernel(PREP), edges, w.arg(op2.RW))
+            op2.par_loop(op2.Kernel(FLUX2), edges, w.arg(op2.READ),
+                         a.arg(op2.READ, emap, 0), a.arg(op2.READ, emap, 1),
+                         out.arg(op2.INC, emap, 0), tot.arg(op2.INC))
+    return out.data_ro.copy(), tot.value
+
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+@pytest.mark.parametrize("backend", ["native", "native-atomics"])
+def test_fused_chain_bitwise_equals_eager(backend):
+    eager = _run_fused_pair(backend, lazy=False)
+    op2.reset_chain_stats()
+    lazy = _run_fused_pair(backend, lazy=True)
+    st = op2.chain_stats().as_dict()
+    assert st["fused"] >= 1, "the pair must actually fuse"
+    assert np.array_equal(eager[0], lazy[0])
+    assert eager[1] == lazy[1]
+
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+def test_fused_chain_counters_and_single_wrapper():
+    with telemetry.tracing() as rec:
+        _run_fused_pair("native", lazy=True)
+    assert rec.counters.get("op2.native.fused_groups", 0) >= 1
+    assert rec.counters.get("op2.native.fused_loops", 0) >= 2
+    # the whole group compiles into ONE translation unit
+    fused_objs = list(cache_dir().glob("fused_*.so"))
+    assert len(fused_objs) == 1
+    fused_src = fused_objs[0].with_suffix(".c").read_text()
+    assert fused_src.count("#pragma omp parallel") == 1
+    assert "op_native_fused_nprep__nflux2" in fused_src
+
+
+def test_fused_chain_missing_compiler_degrades_bitwise(monkeypatch):
+    """With no toolchain the fused group must degrade per-loop through
+    the same backend's fallback — lazy stays bitwise-equal to eager."""
+    monkeypatch.setenv("REPRO_CC", "/nonexistent/compiler-xyz")
+    for backend in ("native", "native-atomics"):
+        reset_native_state()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with telemetry.tracing() as rec:
+                eager = _run_fused_pair(backend, lazy=False)
+                lazy = _run_fused_pair(backend, lazy=True)
+        assert rec.counters.get("op2.native.fused_fallback", 0) >= 1
+        assert np.array_equal(eager[0], lazy[0])
+        assert eager[1] == lazy[1]
+
+
+@pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+def test_fused_wrapper_reuses_disk_cache():
+    with telemetry.tracing() as rec:
+        _run_fused_pair("native", lazy=True)
+        before = rec.counters.get("op2.native.compile", 0)
+        _run_fused_pair("native", lazy=True)  # fresh kernels: memo misses
+        assert rec.counters.get("op2.native.compile", 0) == before, \
+            "second flush must reuse the compiled fused wrapper from disk"
+        assert rec.counters.get("op2.native.cache_hit_disk", 0) >= 1

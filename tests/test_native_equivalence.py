@@ -1,0 +1,155 @@
+"""Application-level equivalence of the compiled chain paths.
+
+The differential matrix (``test_backend_differential.py``) certifies
+the compiled backends on synthetic kernels; this suite certifies them
+on the real applications. The airfoil solver and the Hydra row solver
+run distributed — 1 and 4 ranks, both simulated-MPI transports — on
+both compiled backends (the ``native_chain_backend`` fixture), and
+every combination must satisfy:
+
+* the lazy loop-chain is **bitwise-equal** to eager execution
+  (``native_threads`` pinned to 1, so compiled global reductions are
+  deterministic too);
+* the ``chain.*`` stats and ``op2.native.*`` telemetry counters tell a
+  consistent story: no environment fallbacks with a healthy toolchain,
+  fused-group counters matching the chain's fusion accounting, and the
+  atomics strategy actually executing its chunked compiled path.
+
+The default shared compile cache is used deliberately — every rank and
+parameterization after the first hits the disk cache, keeping the
+matrix cheap.
+"""
+
+import numpy as np
+import pytest
+
+from repro import op2, telemetry
+from repro.op2.backends.native import reset_native_state, toolchain
+from repro.op2.distribute import (build_local_problem, gather_dat,
+                                  plan_distribution)
+from repro.smpi import run_ranks
+
+HAVE_CC = toolchain() is not None
+pytestmark = pytest.mark.skipif(not HAVE_CC, reason="no C toolchain")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_native_state():
+    reset_native_state()
+    yield
+    reset_native_state()
+
+
+def _check_rank_counters(backend, stats, counters):
+    """Per-rank consistency between chain stats and native telemetry."""
+    for st, rec in zip(stats, counters):
+        # toolchain is present: no environment fallback may fire
+        assert rec.get("op2.native.fallback", 0) == 0, \
+            f"unexpected native fallback on {backend}: {rec}"
+        groups = rec.get("op2.native.fused_groups", 0)
+        loops = rec.get("op2.native.fused_loops", 0)
+        degraded = rec.get("op2.native.fused_fallback", 0)
+        if st["fused"] > 0:
+            # every fused group must run compiled or be counted as a
+            # per-loop degradation (native-atomics groups containing an
+            # unsupported loop legitimately degrade)
+            assert groups + degraded >= 1, \
+                f"chain fused {st['fused']} loops but no fused " \
+                f"execution was counted on {backend}"
+        if degraded == 0:
+            # each fused call of a group of size k contributes k loops
+            # and 1 group; the chain counts k-1 absorbed per group, and
+            # exec-halo ranges re-run the same group — so the counter
+            # margin bounds the chain's accounting from above
+            assert loops - groups >= st["fused"], \
+                f"fused counters inconsistent on {backend}: " \
+                f"loops={loops} groups={groups} chain.fused={st['fused']}"
+        else:
+            assert backend == "native-atomics", \
+                "the plain native backend has no unsupported app loops"
+        if backend == "native-atomics":
+            assert rec.get("op2.native.atomics_loops", 0) >= 1, \
+                "the atomics strategy never executed its compiled path"
+            assert rec.get("op2.native.atomics_blocks", 0) >= \
+                rec.get("op2.native.atomics_loops", 0)
+
+
+# -- airfoil -------------------------------------------------------------
+
+def _airfoil_run(backend, lazy, nranks):
+    from repro.apps import (AirfoilApp, airfoil_owners, airfoil_problem,
+                            make_airfoil_mesh)
+
+    mesh = make_airfoil_mesh(ni=12, nj=6)
+    gp = airfoil_problem(mesh, mach=0.35)
+    layouts = plan_distribution(gp, nranks, airfoil_owners(mesh, nranks))
+
+    def rank_fn(comm):
+        op2.set_config(backend=backend, lazy=lazy, native_threads=1,
+                       partial_halos=True, grouped_halos=True)
+        op2.reset_chain_stats()
+        with telemetry.tracing() as rec:
+            local = build_local_problem(gp, layouts[comm.rank], comm)
+            app = AirfoilApp.from_local(mesh, local, mach=0.35)
+            app.iterate(3)
+            op2.flush_chain()
+            q = gather_dat(comm, app.q, layouts[comm.rank], mesh.ncell)
+        return q, op2.chain_stats().as_dict(), dict(rec.counters)
+
+    results = run_ranks(nranks, rank_fn)
+    return results[0][0], [r[1] for r in results], [r[2] for r in results]
+
+
+@pytest.mark.parametrize("nranks", [1, 4])
+def test_airfoil_chain_bitwise_eager(native_chain_backend, smpi_transport,
+                                     nranks):
+    q_e, _, _ = _airfoil_run(native_chain_backend, False, nranks)
+    q_l, stats, counters = _airfoil_run(native_chain_backend, True, nranks)
+    assert np.array_equal(q_e, q_l), \
+        (f"airfoil chain != eager on {native_chain_backend} "
+         f"({nranks} ranks, {smpi_transport} transport)")
+    _check_rank_counters(native_chain_backend, stats, counters)
+
+
+# -- hydra ---------------------------------------------------------------
+
+def _hydra_run(backend, lazy, nranks):
+    from repro.hydra import FlowState, HydraSolver, Numerics, row_problem
+    from repro.hydra.problem import row_owners
+    from repro.mesh import RowConfig, RowKind, make_row_mesh
+
+    cfg = RowConfig(name="duct", kind=RowKind.STATOR, nr=3, nt=12, nx=6,
+                    turning_velocity=0.0, work_coeff=0.0)
+    mesh = make_row_mesh(cfg)
+    inflow = FlowState(rho=1.0, ux=0.5, p=1.0)
+    gp = row_problem(mesh, inflow)
+    owners = row_owners(mesh, gp, nranks, scheme="strips")
+    layouts = plan_distribution(gp, nranks, owners)
+
+    def rank_fn(comm):
+        op2.set_config(backend=backend, lazy=lazy, native_threads=1,
+                       partial_halos=True, grouped_halos=True)
+        op2.reset_chain_stats()
+        with telemetry.tracing() as rec:
+            local = build_local_problem(gp, layouts[comm.rank], comm)
+            s = HydraSolver(local, cfg, Numerics(), dt_outer=0.05,
+                            inlet=inflow, p_out=1.0)
+            s.run(2)
+            op2.flush_chain()
+            q = gather_dat(comm, s.q, layouts[comm.rank], mesh.n_nodes)
+        return q, op2.chain_stats().as_dict(), dict(rec.counters)
+
+    results = run_ranks(nranks, rank_fn)
+    return results[0][0], [r[1] for r in results], [r[2] for r in results]
+
+
+@pytest.mark.parametrize("nranks", [1, 4])
+def test_hydra_chain_bitwise_eager(native_chain_backend, smpi_transport,
+                                   nranks):
+    q_e, _, _ = _hydra_run(native_chain_backend, False, nranks)
+    q_l, stats, counters = _hydra_run(native_chain_backend, True, nranks)
+    assert np.array_equal(q_e, q_l), \
+        (f"hydra chain != eager on {native_chain_backend} "
+         f"({nranks} ranks, {smpi_transport} transport)")
+    assert stats[0]["fused"] > 0, "the hydra inner iteration must fuse"
+    _check_rank_counters(native_chain_backend, stats, counters)

@@ -15,7 +15,9 @@ import pytest
 from repro import op2
 from repro.hydra.kernels import KERNELS
 from repro.op2.codegen.csource import (generate_cuda, generate_native,
+                                       generate_native_fused,
                                        generate_openmp, native_entry_name,
+                                       native_fused_entry_name,
                                        native_is_planned)
 from repro.op2.kernel import KernelParseError
 
@@ -267,6 +269,23 @@ class TestNativeGolden:
         got = generate_native(op2.Kernel(GOLDEN_UPDATE), GOLDEN_UPDATE_SIG)
         _assert_matches_golden(got, "golden_update.c")
 
+    def test_golden_atomics_flux_matches(self):
+        got = generate_native(op2.Kernel(GOLDEN_FLUX), GOLDEN_FLUX_SIG,
+                              strategy="atomics")
+        _assert_matches_golden(got, "golden_atomics_flux.c")
+
+    def test_golden_fused_pair_matches(self):
+        got = generate_native_fused(
+            [op2.Kernel(GOLDEN_UPDATE), op2.Kernel(GOLDEN_FLUX)],
+            [GOLDEN_UPDATE_SIG, GOLDEN_FLUX_SIG])
+        _assert_matches_golden(got, "golden_fused_pair.c")
+
+    def test_golden_fused_atomics_pair_matches(self):
+        got = generate_native_fused(
+            [op2.Kernel(GOLDEN_UPDATE), op2.Kernel(GOLDEN_FLUX)],
+            [GOLDEN_UPDATE_SIG, GOLDEN_FLUX_SIG], strategy="atomics")
+        _assert_matches_golden(got, "golden_fused_atomics_pair.c")
+
 
 class TestNativeStructure:
     def test_indirect_inc_uses_block_color_plan(self):
@@ -389,3 +408,120 @@ def int_k(x, y):
         assert "fmin(x[0], 0.5)" in src
         assert "fabs(x[0])" in src
         assert "?" not in src.split("static inline")[1].split("}")[0]
+
+
+class TestNativeAtomicsStructure:
+    """The compiled atomics strategy: chunked blocks, omp-atomic INCs."""
+
+    def _src(self):
+        return generate_native(op2.Kernel(GOLDEN_FLUX), GOLDEN_FLUX_SIG,
+                               strategy="atomics")
+
+    def test_entry_name_and_chunk_loop(self):
+        src = self._src()
+        kern = op2.Kernel(GOLDEN_FLUX)
+        assert f"void {native_entry_name(kern, 'atomics')}(" in src
+        assert "op_native_atomics_golden_flux" in src
+        # the iteration space is cut into _block-sized chunks — the
+        # simulated CUDA grid the numpy atomics backend also uses
+        assert "long long _block" in src
+        assert "for (long long _lo = _start; _lo < _end; _lo += _block)" \
+            in src
+
+    def test_indirect_incs_are_omp_atomics(self):
+        src = self._src()
+        elemental = src.split("static inline")[1].split("\n}")[0]
+        # both indirect INC statements get the pragma; the global
+        # reduction staging (thread-private) must NOT be atomic
+        assert elemental.count("#pragma omp atomic") == 2
+        assert "#pragma omp atomic\n  r1[0] += f;" in src
+        assert "#pragma omp atomic\n  r2[0] -= f;" in src
+        assert "#pragma omp atomic\n  rms[0]" not in src
+
+    def test_never_planned(self):
+        # the very signature that needs a plan under blockcolor runs
+        # plan-free under atomics: races resolve at the increment
+        assert native_is_planned(GOLDEN_FLUX_SIG)
+        src = self._src()
+        assert "_blk_lo" not in src and "_ncolors" not in src
+
+    def test_direct_loop_has_no_atomics(self):
+        src = generate_native(op2.Kernel(GOLDEN_UPDATE), GOLDEN_UPDATE_SIG,
+                              strategy="atomics")
+        assert "#pragma omp atomic" not in src  # no indirect INCs
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            generate_native(op2.Kernel(GOLDEN_FLUX), GOLDEN_FLUX_SIG,
+                            strategy="voodoo")
+
+
+class TestNativeFusedStructure:
+    """Fused-chain wrappers: one region, ordered sections, shared ABI."""
+
+    def _kernels(self):
+        return [op2.Kernel(GOLDEN_UPDATE), op2.Kernel(GOLDEN_FLUX)]
+
+    def _src(self, strategy="blockcolor"):
+        return generate_native_fused(
+            self._kernels(), [GOLDEN_UPDATE_SIG, GOLDEN_FLUX_SIG], strategy)
+
+    def test_single_parallel_region_spans_sections(self):
+        src = self._src()
+        assert src.count("#pragma omp parallel") == 1
+        assert "// -- section 0: golden_update" in src
+        assert "// -- section 1: golden_flux" in src
+        # section order is source order: the direct update runs first
+        assert src.index("section 0") < src.index("section 1")
+
+    def test_entry_symbol(self):
+        src = self._src()
+        name = native_fused_entry_name(self._kernels())
+        assert name == "op_native_fused_golden_update__golden_flux"
+        assert f"void {name}(" in src
+
+    def test_elementals_renamed_per_section(self):
+        # the same kernel may appear twice in one group: every section
+        # gets its own renamed static copy
+        src = generate_native_fused(
+            [op2.Kernel(GOLDEN_UPDATE), op2.Kernel(GOLDEN_UPDATE)],
+            [GOLDEN_UPDATE_SIG, GOLDEN_UPDATE_SIG])
+        assert "static inline void golden_update_f0(" in src
+        assert "static inline void golden_update_f1(" in src
+        assert src.count("{") == src.count("}")
+
+    def test_per_section_plan_arrays_only_for_planned(self):
+        src = self._src()
+        # section 0 (direct update) needs no plan; section 1 (indirect
+        # flux) carries its own suffixed plan arrays on the tail
+        assert "_blk_lo_f0" not in src
+        assert "const long long *_blk_lo_f1" in src
+        assert "long long _ncolors_f1" in src
+
+    def test_formals_suffixed_per_section(self):
+        src = self._src()
+        assert "double *a0_f0" in src
+        assert "const long long *m0_f1" in src
+        # reduction staging is private per section too
+        assert "change_l_f0[1];" in src
+        assert "rms_l_f1[1];" in src
+
+    def test_atomics_strategy_fused(self):
+        src = self._src(strategy="atomics")
+        assert "op_native_fused_atomics_golden_update__golden_flux" in src
+        # no plans under atomics: both sections chunk over [start, end)
+        assert "_blk_lo" not in src
+        assert src.count(
+            "for (long long _lo = _start; _lo < _end; _lo += _block)") == 2
+        assert "#pragma omp atomic" in src
+
+    def test_shared_tail(self):
+        for strategy in ("blockcolor", "atomics"):
+            src = self._src(strategy)
+            assert "long long _start,\n    long long _end,\n"  \
+                "    long long _block,\n    long long _nthreads) {" in src
+
+    def test_balanced_braces(self):
+        for strategy in ("blockcolor", "atomics"):
+            src = self._src(strategy)
+            assert src.count("{") == src.count("}")
