@@ -11,13 +11,20 @@ Measured layer: the coupled mini-Rig250 bench config run three ways:
   total recovered wall over fault-free wall, with the recovered
   monitors asserted bitwise-equal to the fault-free run.
 
+Transport-aware: ``--transport process`` (a benchmarks/conftest.py
+option) re-runs the whole figure on forked OS processes — the crash
+scenario then uses ``crash_hard`` (a real SIGKILL) instead of the soft
+typed crash, and the recovered monitors are additionally asserted
+bitwise-equal to the fault-free **thread** run, certifying the
+cross-transport parity contract under recovery.
+
 The checkpoint fraction comes from the per-rank phase timers
 (``checkpoint_write`` vs ``physical_step`` + ``coupler_wait``) — the
 same counters the telemetry layer exports — not from end-to-end wall
 clock, so the figure is robust to thread-scheduling noise.
 
 Writes ``benchmarks/out/BENCH_resilience.json`` (telemetry bench
-schema).
+schema) — ``BENCH_resilience_process.json`` in process mode.
 """
 
 import pathlib
@@ -38,7 +45,7 @@ STEPS = 10
 CHECKPOINT_EVERY = 5
 
 
-def bench_cfg(ckpt_dir=None, plan=None):
+def bench_cfg(ckpt_dir=None, plan=None, transport=None):
     return CoupledRunConfig(
         rig=rig250_config(nr=3, nt=16, nx=6, rows=3,
                           steps_per_revolution=96),
@@ -46,7 +53,7 @@ def bench_cfg(ckpt_dir=None, plan=None):
         numerics=Numerics(inner_iters=6),
         inlet=FlowState(ux=0.5), p_out=1.02,
         checkpoint_every=CHECKPOINT_EVERY if ckpt_dir else 0,
-        checkpoint_dir=ckpt_dir, fault_plan=plan)
+        checkpoint_dir=ckpt_dir, fault_plan=plan, transport=transport)
 
 
 def _monitors(result):
@@ -54,35 +61,48 @@ def _monitors(result):
             for row in result.rows]
 
 
-def test_checkpoint_overhead(report, tmp_path):
+def test_checkpoint_overhead(report, tmp_path, bench_transport):
     t0 = time.perf_counter()
-    plain = CoupledDriver(bench_cfg()).run(STEPS)
+    plain = CoupledDriver(bench_cfg(transport=bench_transport)).run(STEPS)
     wall_plain = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    ckpt = CoupledDriver(bench_cfg(tmp_path / "ckpt")).run(STEPS)
+    ckpt = CoupledDriver(
+        bench_cfg(tmp_path / "ckpt", transport=bench_transport)).run(STEPS)
     wall_ckpt = time.perf_counter() - t0
     overhead = ckpt.checkpoint_overhead()
 
-    plan = FaultPlan(seed=1).crash(rank=0, step=STEPS - 2)
+    # process mode injects a *real* SIGKILL; thread mode the soft crash
+    if bench_transport == "process":
+        plan = FaultPlan(seed=1).crash_hard(rank=0, step=STEPS - 2)
+    else:
+        plan = FaultPlan(seed=1).crash(rank=0, step=STEPS - 2)
     t0 = time.perf_counter()
-    recovered = run_resilient(bench_cfg(tmp_path / "rec", plan), STEPS)
+    recovered = run_resilient(
+        bench_cfg(tmp_path / "rec", plan, transport=bench_transport), STEPS)
     wall_rec = time.perf_counter() - t0
 
     assert _monitors(ckpt) == _monitors(plain)
     assert _monitors(recovered) == _monitors(plain)
     assert recovered.recovery.recoveries == 1
+    if bench_transport == "process":
+        # cross-transport parity under recovery: the recovered process
+        # run reproduces the fault-free *thread* run bitwise
+        thread_truth = CoupledDriver(
+            bench_cfg(transport="thread")).run(STEPS)
+        assert _monitors(recovered) == _monitors(thread_truth)
 
+    crash_kind = "crash_hard" if bench_transport == "process" else "crash"
     rows = [
         ["no-ckpt", f"{wall_plain:.2f}", "-", "-"],
         [f"ckpt@{CHECKPOINT_EVERY}", f"{wall_ckpt:.2f}",
          f"{100 * overhead:.1f}%", "-"],
-        ["crash+recover", f"{wall_rec:.2f}",
+        [f"{crash_kind}+recover", f"{wall_rec:.2f}",
          f"{100 * recovered.checkpoint_overhead():.1f}%",
          f"{wall_rec / wall_plain:.2f}x"],
     ]
-    report("resilience: checkpoint + recovery cost "
-           f"({STEPS} steps, 3 rows)\n"
+    report(f"resilience: checkpoint + recovery cost "
+           f"({STEPS} steps, 3 rows, {bench_transport} transport)\n"
            + format_table(["case", "wall [s]", "ckpt fraction",
                            "vs fault-free"], rows)
            + "\nrecovered monitors bitwise-equal to fault-free (asserted)")
@@ -90,7 +110,9 @@ def test_checkpoint_overhead(report, tmp_path):
     # the acceptance bar: <10% of worst-rank wall in checkpoint writes
     assert overhead < 0.10, f"checkpoint overhead {overhead:.1%} >= 10%"
 
-    write_bench_summary(OUT_DIR, "resilience", {
+    name = ("resilience_process" if bench_transport == "process"
+            else "resilience")
+    write_bench_summary(OUT_DIR, name, {
         "wall_plain": {"value": wall_plain, "unit": "s"},
         "wall_checkpointed": {"value": wall_ckpt, "unit": "s"},
         "wall_crash_recover": {"value": wall_rec, "unit": "s"},
@@ -101,7 +123,9 @@ def test_checkpoint_overhead(report, tmp_path):
                        "unit": "count"},
     }, meta={
         "steps": STEPS, "checkpoint_every": CHECKPOINT_EVERY,
-        "rows": 3, "bitwise": "recovered == fault-free (asserted)",
+        "rows": 3, "transport": bench_transport,
+        "crash_kind": crash_kind,
+        "bitwise": "recovered == fault-free (asserted)",
         "note": "checkpoint fraction is worst-rank "
                 "checkpoint_write / (physical_step + coupler_wait + "
                 "checkpoint_write) from the phase timers",

@@ -126,7 +126,9 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     rig = rig250_config(nr=args.nr, nt=args.nt, nx=args.nx, rows=args.rows,
                         steps_per_revolution=args.steps_per_rev)
 
-    def make_cfg(ckpt_dir, plan=None):
+    say = (lambda *_a, **_k: None) if args.json else print
+
+    def make_cfg(ckpt_dir, plan=None, transport=None):
         return CoupledRunConfig(
             rig=rig, ranks_per_row=args.ranks_per_row,
             cus_per_interface=args.cus, search="adt",
@@ -134,7 +136,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             inlet=FlowState(ux=0.5), p_out=args.p_out,
             checkpoint_every=args.checkpoint_every if ckpt_dir else 0,
             checkpoint_dir=ckpt_dir, fault_plan=plan,
-            cu_request_timeout=10.0)
+            cu_request_timeout=10.0, transport=transport)
 
     probe = CoupledDriver(make_cfg(None))
     n_hs = sum(len(r) for r in probe.row_ranks)
@@ -142,8 +144,10 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     mid = max(1, args.steps // 2)
     donor_tag = 9000  # _TAG_DONOR of interface 0, direction 0
 
-    # the truth every recovered run must reproduce
-    baseline = CoupledDriver(make_cfg(None)).run(args.steps)
+    # the truth every recovered run must reproduce — always the
+    # thread transport: recovered process runs must match it bitwise
+    baseline = CoupledDriver(make_cfg(None, transport="thread")).run(
+        args.steps)
     truth = _resilience_monitors(baseline)
 
     scenarios = [
@@ -155,6 +159,11 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         ("corrupt-donor", lambda: FaultPlan(seed=7).corrupt(
             src=0, dst=cu_rank, tag=donor_tag, mode="nan")),
     ]
+    if args.transport == "process":
+        # real node death: only an OS process can be SIGKILLed
+        scenarios.append(
+            ("crash-hard",
+             lambda: FaultPlan(seed=7).crash_hard(rank=0, step=mid)))
     # keep CFL untouched on divergence retries so the recovered
     # trajectory stays comparable to the fault-free baseline
     policy = RecoveryPolicy(max_retries=3, cfl_backoff=1.0)
@@ -162,15 +171,16 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     report = {"world_ranks": probe.n_world, "hs_ranks": n_hs,
               "cu_ranks": probe.n_world - n_hs, "steps": args.steps,
               "checkpoint_every": args.checkpoint_every,
+              "transport": args.transport or "thread",
               "scenarios": []}
     failed = False
     for name, make_plan in scenarios:
         with tempfile.TemporaryDirectory() as d:
-            cfg = make_cfg(d, make_plan())
+            cfg = make_cfg(d, make_plan(), transport=args.transport)
             try:
                 result = run_resilient(cfg, args.steps, policy=policy)
             except Exception as exc:  # noqa: BLE001 - reported, not fatal
-                print(f"{name:14s} FAILED: {type(exc).__name__}: {exc}")
+                say(f"{name:14s} FAILED: {type(exc).__name__}: {exc}")
                 report["scenarios"].append(
                     {"name": name, "ok": False,
                      "error": f"{type(exc).__name__}: {exc}"})
@@ -185,8 +195,8 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             need_recovery = not name.startswith("corrupt")
             ok = identical and (log.recoveries >= 1 or not need_recovery)
             failed |= not ok
-            print(f"{name:14s} recoveries={log.recoveries} "
-                  f"attempts={log.attempts} bitwise={identical}")
+            say(f"{name:14s} recoveries={log.recoveries} "
+                f"attempts={log.attempts} bitwise={identical}")
             report["scenarios"].append({
                 "name": name, "ok": ok, "bitwise_identical": identical,
                 "recovery": log.as_dict()})
@@ -194,33 +204,37 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     # torn-checkpoint case: damage the newest set; recovery must fall
     # back to the previous intact one and still finish bitwise-equal
     with tempfile.TemporaryDirectory() as d:
-        CoupledDriver(make_cfg(d)).run(args.steps)
+        CoupledDriver(make_cfg(d, transport=args.transport)).run(args.steps)
         newest = latest_valid_checkpoint(d)
         member = newest.member(0)
         member.write_bytes(member.read_bytes()[:-7])  # truncate = torn
         fallback = latest_valid_checkpoint(d)
-        resumed = CoupledDriver(make_cfg(d)).run(
+        resumed = CoupledDriver(make_cfg(d, transport=args.transport)).run(
             args.steps, resume_from=fallback)
         identical = _resilience_monitors(resumed) == truth
         fell_back = fallback is not None and fallback.step < newest.step
         ok = identical and fell_back
         failed |= not ok
-        print(f"{'torn-ckpt':14s} newest={newest.step} "
-              f"fallback={fallback.step if fallback else None} "
-              f"bitwise={identical}")
+        say(f"{'torn-ckpt':14s} newest={newest.step} "
+            f"fallback={fallback.step if fallback else None} "
+            f"bitwise={identical}")
         report["scenarios"].append({
             "name": "torn-checkpoint", "ok": ok,
             "bitwise_identical": identical,
             "newest_step": newest.step,
             "fallback_step": fallback.step if fallback else None})
 
+    report["ok"] = not failed
     if args.out:
         out = pathlib.Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         with open(out, "w") as fh:
             json.dump(report, fh, indent=1, sort_keys=True)
-        print(f"wrote {out}")
-    print("fault matrix:", "FAILED" if failed else "all recovered")
+        say(f"wrote {out}")
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print("fault matrix:", "FAILED" if failed else "all recovered")
     return 1 if failed else 0
 
 
@@ -536,6 +550,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             handles = [await sched.submit(JobRequest(
                 tenant=tenant, case=case, nsteps=args.steps,
                 priority=args.priority, deadline_s=args.deadline,
+                transport=args.transport,
                 job_id=args.job_id if len(tenants) == 1 else None))
                 for tenant in tenants]
 
@@ -566,8 +581,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 "job_id": result.job_id, "tenant": result.tenant,
                 "status": result.status.value, "digest": result.digest,
                 "metrics": result.metrics, "timings": result.timings,
-                "recovery": {k: v for k, v in result.recovery.items()
-                             if k != "events"},
+                "recovery": result.recovery,
                 "error": result.error}, sort_keys=True))
         elif result.ok:
             print(f"[{result.job_id}] completed: pressure ratio "
@@ -700,6 +714,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inner", type=int, default=4)
     p.add_argument("--p-out", type=float, default=1.02)
     p.add_argument("--checkpoint-every", type=int, default=2)
+    p.add_argument("--transport", choices=["thread", "process"],
+                   default=None,
+                   help="smpi transport to inject faults on; process "
+                        "adds a crash-hard (SIGKILL) scenario; the "
+                        "bitwise truth is always the thread run")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report (recovery timelines "
+                        "included) as JSON instead of the summary lines")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write the recovery-timeline JSON artifact here")
     p.set_defaults(fn=_cmd_resilience)
@@ -783,6 +805,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume identity: reuse a suspended job's id "
                         "with the same --checkpoint-root to continue it")
     p.add_argument("--slots", type=int, default=2)
+    p.add_argument("--transport", choices=["thread", "process"],
+                   default=None,
+                   help="per-job smpi transport override forwarded in "
+                        "the JobRequest (digests are transport-invariant)")
     p.add_argument("--checkpoint-root", default=None,
                    help="service checkpoint namespace "
                         "(default: a fresh temp dir)")

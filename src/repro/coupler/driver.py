@@ -113,8 +113,9 @@ class CoupledRunConfig:
     cu_request_timeout: float | None = None
     #: smpi transport: "thread" (deterministic test mode), "process"
     #: (forked ranks, true multi-core), or None = the
-    #: ``REPRO_SMPI_TRANSPORT`` environment default. Tracing,
-    #: deterministic schedules and fault plans are thread-only.
+    #: ``REPRO_SMPI_TRANSPORT`` environment default. Tracing and
+    #: deterministic schedules are thread-only; fault plans work on
+    #: both transports (``crash_hard`` faults are process-only).
     transport: str | None = None
 
     def ranks_of(self) -> list[int]:
@@ -569,10 +570,16 @@ class CoupledDriver:
     def _validate_transport(cfg: CoupledRunConfig) -> str:
         """Resolve the transport; reject thread-only feature requests.
 
-        Tracing binds shared recorder objects across rank threads,
-        and deterministic schedules / fault plans hook the threaded
-        communicator — none of which can cross a fork. Failing here,
-        before any rank starts, beats a confusing mid-run error.
+        Tracing binds shared recorder objects across rank threads and
+        deterministic schedules hook the threaded communicator —
+        neither can cross a fork. Fault plans *do* cross the fork
+        (``run_ranks`` ships them to each child and merges fire-once
+        state back), so they pass through here and are validated by
+        :meth:`~repro.smpi.faults.FaultPlan.validate_for_transport`
+        against the resolved transport's rules (``crash_hard`` is
+        process-only, process message faults must pin ``src``).
+        Failing here, before any rank starts, beats a confusing
+        mid-run error.
         """
         from repro.smpi.errors import TransportError
         from repro.smpi.transport import resolve_transport
@@ -582,8 +589,7 @@ class CoupledDriver:
             unsupported = [
                 name for name, on in (
                     ("trace", cfg.trace),
-                    ("schedule_seed", cfg.schedule_seed is not None),
-                    ("fault_plan", cfg.fault_plan is not None))
+                    ("schedule_seed", cfg.schedule_seed is not None))
                 if on
             ]
             if unsupported:
@@ -592,6 +598,8 @@ class CoupledDriver:
                     f"{', '.join(unsupported)}; these are threaded-"
                     f"transport features — drop them or set "
                     f"transport='thread'")
+        if cfg.fault_plan is not None:
+            cfg.fault_plan.validate_for_transport(resolved)
         return resolved
 
     def run(self, nsteps: int, resume_from=None) -> CoupledResult:

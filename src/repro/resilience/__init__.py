@@ -17,6 +17,16 @@ that survives injected faults:
   a retry budget, raising :class:`RunAborted` with the full failure
   chain once spent.
 
+All three layers are transport-agnostic: on ``transport="process"``
+the fault plan is applied inside each forked rank (fire-once state
+merged back, so retries replay clean), checkpoints coordinate over
+the same comm barriers, and abnormal process death —
+:class:`~repro.smpi.errors.ProcessRankDied`, raised for SIGKILLed,
+heartbeat-silent or watchdog-reaped children — is a
+:class:`~repro.smpi.errors.RankFailure` subclass and therefore in
+:data:`RECOVERABLE`: real node death recovers exactly like an
+injected crash.
+
 Telemetry counters: ``resilience.checkpoint_write``,
 ``resilience.recoveries``, ``resilience.faults_injected``,
 ``resilience.health_trips``, ``resilience.rollbacks``.
@@ -40,7 +50,7 @@ from repro.resilience.supervisor import (
     resume_coupled,
     run_resilient,
 )
-from repro.smpi.errors import DeadlockError, RankFailure
+from repro.smpi.errors import DeadlockError, ProcessRankDied, RankFailure
 from repro.smpi.faults import CrashFault, FaultPlan, FaultRecord, MessageFault
 
 __all__ = [
@@ -48,6 +58,6 @@ __all__ = [
     "CheckpointManifest", "latest_valid_checkpoint", "load_manifest",
     "RECOVERABLE", "RecoveryEvent", "RecoveryLog", "RecoveryPolicy",
     "RunAborted", "resume_coupled", "run_resilient",
-    "SolverDivergence", "DeadlockError", "RankFailure",
+    "SolverDivergence", "DeadlockError", "ProcessRankDied", "RankFailure",
     "CrashFault", "FaultPlan", "FaultRecord", "MessageFault",
 ]

@@ -43,7 +43,10 @@ from repro.telemetry.recorder import active_recorder
 __all__ = ["RecoveryPolicy", "RecoveryEvent", "RecoveryLog", "RunAborted",
            "run_resilient", "resume_coupled"]
 
-#: failure types the supervisor converts into a retry
+#: failure types the supervisor converts into a retry. RankFailure
+#: covers :class:`~repro.smpi.errors.ProcessRankDied` (its subclass),
+#: so abnormal process death on transport="process" — SIGKILL,
+#: heartbeat silence, watchdog reap — recovers like an injected crash.
 RECOVERABLE = (RankFailure, DeadlockError, SimMPIError, SolverDivergence)
 
 

@@ -141,6 +141,11 @@ class JobRequest:
     #: deterministic chaos hook (tests, resilience demos): injected
     #: into the run; crashes are retried by the supervisor invisibly
     fault_plan: object | None = None
+    #: per-job smpi transport override: "thread", "process", or None =
+    #: the scheduler's configured default. Process-transport jobs run
+    #: the same supervised recovery (digests equal to thread runs);
+    #: injected or real rank-process death stays invisible to clients.
+    transport: str | None = None
 
     def validate(self) -> None:
         if not _TENANT_RE.match(self.tenant or ""):
@@ -149,6 +154,12 @@ class JobRequest:
                 f"(it namespaces checkpoint directories)")
         if self.nsteps < 1:
             raise ValueError(f"nsteps must be >= 1, got {self.nsteps}")
+        if self.transport is not None:
+            from repro.smpi.transport import TRANSPORTS
+            if self.transport not in TRANSPORTS:
+                raise ValueError(
+                    f"transport {self.transport!r} must be one of "
+                    f"{TRANSPORTS} (or None for the service default)")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(
                 f"deadline_s must be > 0, got {self.deadline_s}")

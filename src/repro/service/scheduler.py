@@ -296,12 +296,17 @@ class JobScheduler:
     def _run_in_thread(self, handle: JobHandle):
         """Blocking job body — worker thread, not the event loop."""
         request = handle.request
+        overrides = dict(self.run_overrides)
+        if request.transport is not None:
+            # per-job transport beats the service-wide default; digests
+            # are transport-invariant so tenants may mix freely
+            overrides["transport"] = request.transport
         cfg = request.case.run_config(
             checkpoint_every=self.checkpoint_every,
             checkpoint_dir=job_checkpoint_dir(
                 self.checkpoint_root, request.tenant, handle.job_id),
             fault_plan=request.fault_plan,
-            **self.run_overrides)
+            **overrides)
 
         def progress(kind: str, step: int, detail: dict) -> None:
             self._loop.call_soon_threadsafe(handle._emit, kind, step, detail)

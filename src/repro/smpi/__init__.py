@@ -25,15 +25,17 @@ from repro.smpi.comm import (
     waitall,
 )
 from repro.smpi.deadlock import DeadlockError, WaitEdge, WaitRegistry, format_cycle
-from repro.smpi.errors import RankFailure, TransportError
+from repro.smpi.errors import ProcessRankDied, RankFailure, TransportError
 from repro.smpi.faults import CrashFault, FaultPlan, FaultRecord, MessageFault
 from repro.smpi.schedule import DeterministicScheduler, ScheduleRun, sweep_schedules
 from repro.smpi.traffic import Traffic, TrafficRecord
 from repro.smpi.transport import (
+    HEARTBEAT_ENV,
     TRANSPORTS,
     WATCHDOG_ENV,
     ProcessComm,
     default_transport,
+    heartbeat_seconds,
     resolve_transport,
     run_ranks_process,
     watchdog_seconds,
@@ -47,8 +49,10 @@ __all__ = [
     "DeterministicScheduler",
     "FaultPlan",
     "FaultRecord",
+    "HEARTBEAT_ENV",
     "MessageFault",
     "ProcessComm",
+    "ProcessRankDied",
     "RankFailure",
     "Request",
     "ScheduleRun",
@@ -64,6 +68,7 @@ __all__ = [
     "WaitRegistry",
     "default_transport",
     "format_cycle",
+    "heartbeat_seconds",
     "resolve_transport",
     "run_ranks",
     "run_ranks_process",

@@ -606,7 +606,8 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
               scheduler: "DeterministicScheduler | None" = None,
               fault_plan: "FaultPlan | None" = None,
               transport: str | None = None,
-              watchdog_s: float | None = None) -> list[Any]:
+              watchdog_s: float | None = None,
+              heartbeat_s: float | None = None) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` cooperating ranks.
 
     Returns each rank's return value, ordered by rank. If any rank
@@ -614,9 +615,11 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
     poisoned) and the first failure is re-raised.
 
     ``watchdog_s`` tunes the process transport's hung-child deadline
-    (default ``$REPRO_SMPI_WATCHDOG_S``, else ``2 * timeout``); the
-    threaded transport ignores it — its wait-for-graph detector
-    reports genuine deadlocks directly.
+    (default ``$REPRO_SMPI_WATCHDOG_S``, else ``2 * timeout``) and
+    ``heartbeat_s`` its per-child liveness heartbeat (default
+    ``$REPRO_SMPI_HEARTBEAT_S``, else disabled); the threaded
+    transport ignores both — its wait-for-graph detector reports
+    genuine deadlocks directly.
 
     ``transport`` selects how ranks execute (default: the
     ``REPRO_SMPI_TRANSPORT`` environment variable, else ``"thread"``):
@@ -632,28 +635,31 @@ def run_ranks(nranks: int, fn: Callable[..., Any], args: tuple = (),
       sub-communicator share the plan).
     * ``"process"`` — ranks are forked OS processes with true
       multi-core parallelism (see :mod:`repro.smpi.transport`).
-      Schedulers and fault plans are threaded-transport features;
-      requesting them here raises
+      Fault plans work here too — each forked rank applies its
+      inherited copy and fire-once state is merged back — with two
+      transport-specific rules enforced up front: message faults must
+      pin ``src``, and ``crash_hard`` faults are *only* expressible
+      here. The deterministic scheduler remains thread-only;
+      requesting one raises
       :class:`~repro.smpi.errors.TransportError`.
     """
     from repro.smpi.transport import resolve_transport, run_ranks_process
 
     resolved = resolve_transport(transport)
     if resolved == "process":
-        if scheduler is not None or fault_plan is not None:
+        if scheduler is not None:
             from repro.smpi.errors import TransportError
-            unsupported = [
-                name for name, val in (("scheduler", scheduler),
-                                       ("fault_plan", fault_plan))
-                if val is not None
-            ]
             raise TransportError(
-                f"process transport does not support "
-                f"{' or '.join(unsupported)}; deterministic scheduling and "
-                f"fault injection require transport='thread'"
+                "process transport does not support scheduler; "
+                "deterministic scheduling requires transport='thread'"
             )
         return run_ranks_process(nranks, fn, args=args, timeout=timeout,
-                                 traffic=traffic, watchdog_s=watchdog_s)
+                                 traffic=traffic, watchdog_s=watchdog_s,
+                                 fault_plan=fault_plan,
+                                 heartbeat_s=heartbeat_s)
+    if fault_plan is not None:
+        # rejects crash_hard up front: a thread cannot die abnormally
+        fault_plan.validate_for_transport("thread")
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     traffic = traffic if traffic is not None else Traffic()

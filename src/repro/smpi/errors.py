@@ -20,8 +20,11 @@ class TransportError(SimMPIError):
     """A transport cannot honour the requested run configuration.
 
     Raised e.g. when the process transport is asked to run with a
-    deterministic scheduler or a fault plan — features that only the
-    in-process threaded transport provides.
+    deterministic scheduler (a thread-only feature), when a thread
+    run carries a ``crash_hard`` fault (only an OS process can die
+    abnormally), or when a process-transport fault plan uses
+    wildcard-source message faults (match counting is per sending
+    process, so the source must be pinned).
     """
 
 
@@ -44,6 +47,38 @@ class RankFailure(SimMPIError):
         # keep rank/step across pickling (process-transport failure
         # propagation crosses an OS process boundary)
         return (type(self), (self.args[0], self.rank, self.step))
+
+
+class ProcessRankDied(RankFailure):
+    """A rank *process* died abnormally or stopped responding.
+
+    The process transport raises this when a child exits without
+    reporting (nonzero exitcode, killing signal, broken result pipe),
+    when the per-child heartbeat goes silent past its deadline, or
+    when the watchdog reaps a hung child. It is
+    :class:`RankFailure`-compatible — ``rank`` and (when a pre-death
+    notice attributed it) ``step`` are carried — so the resilience
+    supervisor treats real node death exactly like an injected crash:
+    retry from the latest committed checkpoint.
+
+    ``signal`` is the killing signal number (``None`` when the child
+    exited rather than being signalled), ``exitcode`` the raw
+    ``Process.exitcode``, and ``reason`` one of ``"exit"``,
+    ``"heartbeat"`` or ``"watchdog"``.
+    """
+
+    def __init__(self, message: str, rank: int | None = None,
+                 step: int | None = None, signal: int | None = None,
+                 exitcode: int | None = None,
+                 reason: str = "exit") -> None:
+        super().__init__(message, rank=rank, step=step)
+        self.signal = signal
+        self.exitcode = exitcode
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.rank, self.step,
+                             self.signal, self.exitcode, self.reason))
 
 
 class DeadlockError(SimMPIError):

@@ -9,7 +9,12 @@ world via ``run_ranks(..., fault_plan=...)`` (or
   the top of each step and the plan raises
   :class:`~repro.smpi.errors.RankFailure` on the matching rank — the
   standard abort machinery then tears the world down exactly as a real
-  rank death would.
+  rank death would. :meth:`FaultPlan.crash_hard` is the process-
+  transport-only variant: instead of a typed exception the child rank
+  ``SIGKILL``\\ s itself, modelling real node death (no unwinding, no
+  goodbye over the result pipe beyond a pre-death notice) — something
+  a thread can never express, so thread runs reject such plans with
+  :class:`~repro.smpi.errors.TransportError`.
 * **Message faults** perturb matched point-to-point traffic inside
   :meth:`~repro.smpi.comm.SimComm.send`: ``drop`` (never delivered),
   ``duplicate`` (delivered twice), ``delay`` (held back and re-injected
@@ -26,6 +31,17 @@ test, not a flake). Under the PR-1
 :class:`~repro.smpi.schedule.DeterministicScheduler` the whole
 injected history is replayable byte for byte.
 
+On the process transport each forked rank applies its inherited copy
+of the plan; the fire-once state mutates in the *child*, so the
+transport ships it back to the parent's plan object
+(:meth:`FaultPlan.snapshot_state` in the child's final report or
+pre-death notice, :meth:`FaultPlan.merge_state` in the parent) —
+supervised retries therefore replay clean on both transports.
+Message-fault matching happens on the sending rank, so process-
+transport plans must pin ``src`` (wildcard sources would count
+matches per-process instead of globally);
+:meth:`FaultPlan.validate_for_transport` enforces this up front.
+
 Fired faults are recorded on :attr:`FaultPlan.fired` and counted on
 the active telemetry recorder (``resilience.faults_injected``).
 """
@@ -39,10 +55,20 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.smpi.errors import RankFailure
+from repro.smpi.errors import RankFailure, TransportError
 from repro.telemetry.recorder import active_recorder
 
 __all__ = ["FaultPlan", "FaultRecord", "MessageFault", "CrashFault"]
+
+
+def _default_hard_crash(rank: int, step: int) -> None:
+    """Backstop when a ``crash_hard`` fault fires outside the process
+    transport; normally unreachable — ``run_ranks`` rejects such plans
+    on the thread transport before any rank starts."""
+    raise TransportError(
+        f"crash_hard(rank={rank}, step={step}) fired on a transport "
+        f"that cannot kill a rank process; crash_hard requires "
+        f"transport='process'")
 
 _MESSAGE_KINDS = ("drop", "duplicate", "delay", "corrupt")
 _CORRUPT_MODES = ("nan", "bitflip")
@@ -50,11 +76,18 @@ _CORRUPT_MODES = ("nan", "bitflip")
 
 @dataclass
 class CrashFault:
-    """Kill ``rank`` when it reaches physical step ``step``."""
+    """Kill ``rank`` when it reaches physical step ``step``.
+
+    ``hard=False`` raises a typed :class:`RankFailure` (clean death:
+    the rank unwinds, peers abort, the error propagates). ``hard=True``
+    SIGKILLs the rank *process* — abnormal death, expressible only on
+    the process transport.
+    """
 
     rank: int
     step: int
     fired: bool = False
+    hard: bool = False
 
 
 @dataclass
@@ -129,6 +162,30 @@ class FaultPlan:
         self.fired: list[FaultRecord] = []
         #: messages held back by ``delay``, keyed by (src, dst)
         self._held: dict[tuple[int, int], list[Callable[[], None]]] = {}
+        #: records fired since :meth:`begin_local_record` (per forked
+        #: child; what :meth:`snapshot_state` ships to the parent)
+        self._fired_local: list[FaultRecord] | None = None
+        #: how a matched hard crash kills this rank; the process
+        #: transport rebinds it per child (pre-death notice + SIGKILL)
+        self._hard_crash: Callable[[int, int], None] = _default_hard_crash
+
+    # -- pickling ------------------------------------------------------
+    # A plan crosses process boundaries (service job requests, spawned
+    # transports). Locks, bound handlers and in-flight delivery thunks
+    # are process-local runtime state, not plan identity — drop them
+    # and rebuild on the other side.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state.pop("_held", None)
+        state.pop("_hard_crash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._held = {}
+        self._hard_crash = _default_hard_crash
 
     # -- declaration ---------------------------------------------------
     def crash(self, rank: int, step: int) -> "FaultPlan":
@@ -136,6 +193,21 @@ class FaultPlan:
         if step < 0:
             raise ValueError(f"crash step must be >= 0, got {step}")
         self._crashes.append(CrashFault(rank=rank, step=step))
+        return self
+
+    def crash_hard(self, rank: int, step: int) -> "FaultPlan":
+        """SIGKILL ``rank``'s *process* at physical ``step``.
+
+        Models real node death: no exception, no unwinding — the OS
+        process vanishes mid-run and the parent observes an abnormal
+        exit (surfaced as
+        :class:`~repro.smpi.errors.ProcessRankDied`). Only the process
+        transport can express this; thread runs reject the plan with
+        :class:`~repro.smpi.errors.TransportError`.
+        """
+        if step < 0:
+            raise ValueError(f"crash step must be >= 0, got {step}")
+        self._crashes.append(CrashFault(rank=rank, step=step, hard=True))
         return self
 
     def _message(self, kind: str, src: int | None, dst: int | None,
@@ -188,6 +260,78 @@ class FaultPlan:
             return (sum(1 for c in self._crashes if not c.fired)
                     + sum(1 for m in self._messages if not m.fired))
 
+    @property
+    def has_hard_crashes(self) -> bool:
+        """Whether any declared fault is a ``crash_hard``."""
+        return any(c.hard for c in self._crashes)
+
+    def validate_for_transport(self, transport: str) -> None:
+        """Reject plan/transport combinations that cannot keep the
+        certified semantics, naming the offending fault.
+
+        * thread: ``crash_hard`` is inexpressible (a thread cannot die
+          abnormally without taking the interpreter with it);
+        * process: message faults must pin ``src`` — matching happens
+          on the sending rank, so a wildcard source would turn the
+          global Nth-match ``count`` into a per-process count.
+        """
+        if transport == "thread":
+            for c in self._crashes:
+                if c.hard:
+                    raise TransportError(
+                        f"crash_hard(rank={c.rank}, step={c.step}) models "
+                        f"abnormal process death; the thread transport "
+                        f"cannot express it — use transport='process'")
+        elif transport == "process":
+            for m in self._messages:
+                if m.src is None:
+                    raise TransportError(
+                        f"process transport requires an explicit src on "
+                        f"message faults (got {m.kind} fault with "
+                        f"src=None): matching runs on the sending rank, "
+                        f"so a wildcard source would count matches "
+                        f"per-process instead of globally")
+
+    # -- cross-process state shipping ----------------------------------
+    def bind_hard_crash(self, handler: Callable[[int, int], None]) -> None:
+        """Install how a matched hard crash kills this rank (per child)."""
+        self._hard_crash = handler
+
+    def begin_local_record(self) -> None:
+        """Start tracking faults fired *in this process* separately,
+        so :meth:`snapshot_state` ships only this child's firings."""
+        self._fired_local = []
+
+    def snapshot_state(self) -> dict:
+        """Picklable fire-once state delta for the parent to merge."""
+        with self._lock:
+            return {
+                "crashes": [bool(c.fired) for c in self._crashes],
+                "messages": [(bool(m.fired), int(m.seen))
+                             for m in self._messages],
+                "fired": list(self._fired_local
+                              if self._fired_local is not None
+                              else self.fired),
+            }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold one child's :meth:`snapshot_state` into this plan.
+
+        Fired flags are sticky, ``seen`` counters take the maximum
+        (each child only observed its own sends), and the child's
+        locally fired records are appended in arrival order — after
+        which a supervised retry replays clean, exactly as on the
+        thread transport.
+        """
+        with self._lock:
+            for c, fired in zip(self._crashes, state.get("crashes", ())):
+                c.fired = c.fired or fired
+            for m, (fired, seen) in zip(self._messages,
+                                        state.get("messages", ())):
+                m.fired = m.fired or fired
+                m.seen = max(m.seen, seen)
+            self.fired.extend(state.get("fired", ()))
+
     def reset(self) -> None:
         """Re-arm every fault (for deliberate repeat-failure tests)."""
         with self._lock:
@@ -198,10 +342,14 @@ class FaultPlan:
                 m.seen = 0
             self.fired.clear()
             self._held.clear()
+            if self._fired_local is not None:
+                self._fired_local.clear()
 
     # -- runtime hooks (called by repro.smpi.comm) ---------------------
     def _record(self, record: FaultRecord) -> None:
         self.fired.append(record)
+        if self._fired_local is not None:
+            self._fired_local.append(record)
         rec = active_recorder()
         if rec is not None:
             rec.counter("resilience.faults_injected")
@@ -210,17 +358,34 @@ class FaultPlan:
                         tag=record.tag, detail=record.detail or None)
 
     def on_step(self, rank: int, step: int) -> None:
-        """Crash hook: raises :class:`RankFailure` if a crash matches."""
+        """Crash hook: kills the rank if a crash fault matches.
+
+        Soft crashes raise :class:`RankFailure` (typed, unwinds);
+        hard crashes invoke the transport-bound kill handler, which
+        on the process transport ships a pre-death notice and then
+        SIGKILLs the child — this call never returns.
+        """
+        hard = None
         with self._lock:
             for c in self._crashes:
                 if c.fired or c.rank != rank or c.step != step:
                     continue
                 c.fired = True
+                if c.hard:
+                    self._record(FaultRecord(
+                        kind="crash_hard", rank=rank, step=step,
+                        detail=f"injected hard crash at step {step}"))
+                    hard = c
+                    break
                 self._record(FaultRecord(kind="crash", rank=rank, step=step,
                                          detail=f"injected crash at step {step}"))
                 raise RankFailure(
                     f"rank {rank} killed by injected fault at step {step}",
                     rank=rank, step=step)
+        if hard is not None:
+            # outside the lock: the handler snapshots plan state for
+            # the pre-death notice, which takes the lock itself
+            self._hard_crash(rank, step)
 
     def on_send(self, src: int, dst: int, tag: int) -> _SendActions:
         """Message hook: classify one send; updates match counters."""

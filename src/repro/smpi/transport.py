@@ -29,23 +29,57 @@ Semantics parity with the threaded transport:
   ``Traffic.structure_fingerprint()`` is deterministic and comparable
   across transports.
 
+Fault tolerance (the process transport is a first-class fault
+domain):
+
+* :class:`~repro.smpi.faults.FaultPlan` injection works with the
+  same semantics the thread transport certifies — each forked rank
+  applies its inherited copy of the plan and the fire-once state is
+  shipped back to the parent's plan object (in the final report, or a
+  pre-death notice for hard crashes), so supervised retries replay
+  clean. Message faults must pin ``src`` (matching runs on the
+  sending rank); ``crash_hard`` faults SIGKILL the child to model
+  real node death.
+* Abnormal child death — a killing signal, a nonzero exit, a broken
+  result pipe — is surfaced as a typed
+  :class:`~repro.smpi.errors.ProcessRankDied` (a
+  :class:`~repro.smpi.errors.RankFailure` subclass carrying rank,
+  step when attributable, signal and exitcode), never as a bare hang;
+  detection is immediate (pipe EOF) and the world is aborted so
+  surviving ranks wind down in milliseconds, not watchdog-timeouts.
+* An optional per-child heartbeat (``heartbeat_s`` kwarg or
+  :data:`HEARTBEAT_ENV`) reports a *wedged* rank — alive but making
+  no progress through step boundaries or blocking waits — within the
+  heartbeat deadline instead of waiting out the ``2×timeout``
+  watchdog. Disabled by default: ranks that legitimately compute for
+  long stretches without communicating would be falsely reaped.
+* Shared-memory segments are reclaimed on **every** crash path:
+  receivers unlink on decode, the parent drains stray queue messages,
+  and each run's segments carry a unique name prefix that the parent
+  sweeps from ``/dev/shm`` after teardown — a child SIGKILLed between
+  segment creation and enqueue still leaks nothing.
+
 Deliberate non-parity (documented, enforced):
 
-* no deterministic scheduler, no fault plan, no wait-for-graph
-  deadlock detector — requesting them with ``transport="process"``
-  raises :class:`~repro.smpi.errors.TransportError`; a genuinely hung
-  run is caught by the watchdog deadline only;
+* no deterministic scheduler, no wait-for-graph deadlock detector —
+  requesting a scheduler with ``transport="process"`` raises
+  :class:`~repro.smpi.errors.TransportError`; a genuinely hung
+  run is caught by the heartbeat (if enabled) or the watchdog;
 * per-rank telemetry recorders are process-local and discarded — the
   traffic ledger is the only cross-process observable.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import os
 import pickle
 import queue as _queue
+import signal as _signal
+import threading
 import time
+import uuid
 from collections import defaultdict
 from dataclasses import dataclass
 from multiprocessing import connection as _mpconn
@@ -54,8 +88,14 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.smpi.errors import SimAbort, SimMPIError, TransportError
+from repro.smpi.errors import (
+    ProcessRankDied,
+    SimAbort,
+    SimMPIError,
+    TransportError,
+)
 from repro.smpi.traffic import Traffic, payload_nbytes
+from repro.telemetry.recorder import active_recorder
 
 #: Environment variable naming the default transport for
 #: :func:`repro.smpi.run_ranks` calls that do not pass one explicitly.
@@ -73,6 +113,15 @@ SHM_MIN_ENV = "REPRO_SMPI_SHM_MIN"
 #: legitimately outlive that — a service raises this instead of having
 #: healthy children falsely reaped.
 WATCHDOG_ENV = "REPRO_SMPI_WATCHDOG_S"
+
+#: Environment variable enabling the per-child heartbeat (seconds).
+#: When set (or when ``heartbeat_s`` is passed explicitly), each rank
+#: process beats over its result pipe at every step boundary and
+#: blocking-wait poll; a rank silent for longer than this deadline is
+#: reaped and reported as a typed
+#: :class:`~repro.smpi.errors.ProcessRankDied` instead of waiting out
+#: the full watchdog. Unset / non-positive = disabled.
+HEARTBEAT_ENV = "REPRO_SMPI_HEARTBEAT_S"
 
 _DEFAULT_SHM_MIN = 64 * 1024
 
@@ -134,6 +183,28 @@ def watchdog_seconds(timeout: float,
     return timeout * 2
 
 
+def heartbeat_seconds(heartbeat_s: float | None = None) -> float | None:
+    """Resolve the per-child heartbeat deadline for one run.
+
+    Precedence: explicit ``heartbeat_s`` kwarg, then the
+    :data:`HEARTBEAT_ENV` environment variable. ``None`` (the default)
+    disables the heartbeat entirely — a rank that computes for minutes
+    without communicating must not be falsely reaped. Non-positive or
+    unparsable settings also disable it.
+    """
+    if heartbeat_s is not None:
+        return float(heartbeat_s) if heartbeat_s > 0 else None
+    env = os.environ.get(HEARTBEAT_ENV)
+    if env:
+        try:
+            value = float(env)
+        except ValueError:
+            return None
+        if value > 0:
+            return value
+    return None
+
+
 # ---------------------------------------------------------------------------
 # payload encoding: shared-memory hand-off for large numpy buffers
 # ---------------------------------------------------------------------------
@@ -155,13 +226,67 @@ class _ShmRef:
     nbytes: int
 
 
+# Per-process shared-memory naming. Rank processes stamp every segment
+# they create with a run+rank-unique prefix so the parent can sweep
+# /dev/shm for leftovers after teardown — the only leak window the
+# queue drain cannot cover is a child SIGKILLed between creating a
+# segment and enqueueing its ref, and a name sweep closes it.
+_SHM_NAME_PREFIX: str | None = None
+_SHM_NAME_COUNTER = itertools.count()
+
+
+def _set_shm_prefix(prefix: str | None) -> None:
+    global _SHM_NAME_PREFIX
+    _SHM_NAME_PREFIX = prefix
+
+
+def _next_shm_name() -> str | None:
+    """Next segment name under the current prefix (None = OS-chosen)."""
+    if _SHM_NAME_PREFIX is None:
+        return None
+    return f"{_SHM_NAME_PREFIX}{next(_SHM_NAME_COUNTER)}"
+
+
+def _sweep_shm_prefix(prefix: str) -> int:
+    """Unlink every /dev/shm segment carrying this run's name prefix.
+
+    Returns the number of segments reclaimed (0 on clean runs and on
+    platforms without a /dev/shm directory).
+    """
+    root = "/dev/shm"
+    swept = 0
+    if not prefix or not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return 0
+    try:
+        names = os.listdir(root)
+    except OSError:  # pragma: no cover - defensive
+        return 0
+    for fname in names:
+        if not fname.startswith(prefix):
+            continue
+        try:
+            seg = shared_memory.SharedMemory(name=fname)
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - permissions race
+            continue
+        seg.close()
+        try:
+            seg.unlink()
+            swept += 1
+        except FileNotFoundError:  # pragma: no cover - concurrent free
+            pass
+    return swept
+
+
 def _encode_payload(obj: Any) -> Any:
     """Replace large simple-dtype ndarrays with shared-memory refs."""
     if isinstance(obj, np.ndarray):
         if (obj.nbytes >= shm_threshold() and obj.nbytes > 0
                 and not obj.dtype.hasobject):
             arr = np.ascontiguousarray(obj)
-            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            shm = shared_memory.SharedMemory(create=True, size=arr.nbytes,
+                                             name=_next_shm_name())
             try:
                 view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
                 view[...] = arr
@@ -244,13 +369,23 @@ class _ProcRuntime:
 
     def __init__(self, world_rank: int, world_size: int,
                  queues: Sequence[Any], abort: Any, timeout: float,
-                 traffic: Traffic) -> None:
+                 traffic: Traffic, faults: Any = None,
+                 beat: Callable[[], None] | None = None) -> None:
         self.world_rank = world_rank
         self.world_size = world_size
         self.queues = list(queues)
         self.abort = abort
         self.timeout = timeout
         self.traffic = traffic
+        #: this rank's inherited copy of the run's FaultPlan (or None);
+        #: applied at step boundaries and on the send path, exactly as
+        #: the threaded SimComm does
+        self.faults = faults
+        #: liveness hook called at step boundaries and blocking-wait
+        #: polls; throttled by the reporter, no-op when heartbeats are
+        #: disabled
+        self.maybe_beat: Callable[[], None] = beat if beat is not None \
+            else (lambda: None)
         #: comm_id -> [(kind, src_world, tag, payload)]
         self.buffers: dict[str, list[tuple[str, int, int, Any]]] = \
             defaultdict(list)
@@ -318,7 +453,18 @@ class ProcessComm:
         self._rt.traffic.set_phase(self.world_rank, phase)
 
     def notify_step(self, step: int) -> None:
-        """Fault plans are a threaded-transport feature; no-op here."""
+        """Apply step-boundary faults and beat the liveness heartbeat.
+
+        Same contract as :meth:`repro.smpi.comm.SimComm.notify_step`:
+        a :class:`~repro.smpi.faults.FaultPlan` crash scheduled for
+        ``(rank, step)`` fires here — a soft crash raises the typed
+        :class:`~repro.smpi.errors.RankFailure` inside this rank's
+        process, a hard crash SIGKILLs it after a pre-death notice.
+        """
+        self._rt.maybe_beat()
+        plan = self._rt.faults
+        if plan is not None:
+            plan.on_step(self.world_rank, step)
 
     # -- point to point ------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -327,7 +473,32 @@ class ProcessComm:
         dst_world = self._ranks_world[dest]
         self._rt.traffic.record(self.world_rank, dst_world,
                                 payload_nbytes(obj))
-        self._rt.post(dst_world, self.comm_id, "p2p", tag, obj)
+        plan = self._rt.faults
+        if plan is None:
+            self._rt.post(dst_world, self.comm_id, "p2p", tag, obj)
+            return
+        # message-fault path: identical order to SimComm._send_with_faults
+        # (record above, then corrupt -> hold -> deliver -> release held).
+        # Matching runs on the sending rank, so fire-once counts are
+        # per-process — validate_for_transport() already forced src to
+        # be pinned, making that indistinguishable from thread runs.
+        actions = plan.on_send(self.world_rank, dst_world, tag)
+        if actions.corrupt is not None:
+            from repro.smpi.comm import _copy_payload
+            # copy first: unlike the threaded transport there is no
+            # later copy-on-send, and the sender must not see its own
+            # buffer corrupted
+            obj = actions.corrupt(_copy_payload(obj))
+        if actions.hold:
+            rt, comm_id, me = self._rt, self.comm_id, self.world_rank
+            held = obj
+            plan.hold_message(
+                me, dst_world,
+                lambda: rt.post(dst_world, comm_id, "p2p", tag, held))
+            return
+        for _ in range(actions.deliver):
+            self._rt.post(dst_world, self.comm_id, "p2p", tag, obj)
+        plan.release_held(self.world_rank, dst_world)
 
     def _recv_raw(self, kind: str, source_world: int, tag: int,
                   timeout: float) -> tuple[int, int, Any]:
@@ -336,6 +507,7 @@ class ProcessComm:
         deadline = float("inf") if timeout is None else timeout
         waited = 0.0
         while True:
+            rt.maybe_beat()
             buf = rt.buffers[self.comm_id]
             for i, (k, s, t, _p) in enumerate(buf):
                 if k != kind:
@@ -541,9 +713,48 @@ class ProcessComm:
 # process lifecycle
 # ---------------------------------------------------------------------------
 
+class _ChildReporter:
+    """Serialized writer for a child's result pipe.
+
+    The pipe now carries framed messages — ``("hb",)`` heartbeats,
+    ``("fault", notice)`` pre-death notices and the final report tuple
+    — and the hard-crash handler may fire from the thick of a step, so
+    every write goes through one lock and swallows a vanished parent.
+    """
+
+    def __init__(self, conn: Any, heartbeat: float | None) -> None:
+        self._conn = conn
+        self._lock = threading.Lock()
+        # beat at ~3x the deadline rate so one lost poll window can
+        # never look like silence
+        self._interval = heartbeat / 3.0 if heartbeat else None
+        self._last = 0.0
+
+    def send(self, frame: Any) -> None:
+        self.send_bytes(pickle.dumps(frame))
+
+    def send_bytes(self, blob: bytes) -> None:
+        with self._lock:
+            try:
+                self._conn.send_bytes(blob)
+            except Exception:  # pragma: no cover - parent already gone
+                pass
+
+    def maybe_beat(self) -> None:
+        """Beat if heartbeats are on and the interval elapsed."""
+        if self._interval is None:
+            return
+        now = time.monotonic()
+        if now - self._last >= self._interval:
+            self._last = now
+            self.send(("hb",))
+
+
 def _child_main(rank: int, nranks: int, fn: Callable[..., Any], args: tuple,
                 queues: Sequence[Any], conn: Any, abort: Any, done: Any,
-                timeout: float) -> None:
+                timeout: float, fault_plan: Any = None,
+                heartbeat: float | None = None,
+                shm_prefix: str | None = None) -> None:
     """Rank body: run ``fn``, report over the pipe, wait, hard-exit.
 
     The explicit ``os._exit`` (after the parent signals ``done``)
@@ -551,10 +762,39 @@ def _child_main(rank: int, nranks: int, fn: Callable[..., Any], args: tuple,
     otherwise deadlock a fork child; ``done`` guarantees every queue
     message this rank produced has either been consumed by a peer or
     drained by the parent before the feeder threads are cancelled.
+
+    The final report is a 4-tuple ``(status, payload, message_log,
+    fault_state)`` — the last element ships this child's fire-once
+    fault-plan delta back to the parent (None when no plan is
+    installed). A matched ``crash_hard`` never reaches the report: the
+    bound handler sends a ``("fault", notice)`` frame and SIGKILLs the
+    process, so the parent sees the notice followed by pipe EOF.
     """
+    if shm_prefix:
+        _set_shm_prefix(f"{shm_prefix}r{rank}x")
+    reporter = _ChildReporter(conn, heartbeat)
     traffic = Traffic()
-    runtime = _ProcRuntime(rank, nranks, queues, abort, timeout, traffic)
+    if fault_plan is not None:
+        # the fork gave this child its own copy-on-write plan; record
+        # firings separately so the parent merges only this child's
+        # delta, and bind the hard-crash handler to this process
+        fault_plan.begin_local_record()
+
+        def _die_hard(crash_rank: int, step: int) -> None:
+            reporter.send(("fault", {
+                "rank": crash_rank, "step": step,
+                "state": fault_plan.snapshot_state(),
+            }))
+            for q in queues:
+                q.cancel_join_thread()
+            os.kill(os.getpid(), _signal.SIGKILL)
+            os._exit(1)  # pragma: no cover - unreachable backstop
+
+        fault_plan.bind_hard_crash(_die_hard)
+    runtime = _ProcRuntime(rank, nranks, queues, abort, timeout, traffic,
+                           faults=fault_plan, beat=reporter.maybe_beat)
     comm = ProcessComm(runtime, "world", list(range(nranks)), rank)
+    reporter.maybe_beat()  # mark liveness before any compute
     status: str
     payload: Any
     try:
@@ -565,18 +805,17 @@ def _child_main(rank: int, nranks: int, fn: Callable[..., Any], args: tuple,
     except BaseException as exc:  # noqa: BLE001 — reported to the parent
         abort.set()
         status, payload = "err", exc
-    report = (status, payload, traffic.message_log())
+    fault_state = (fault_plan.snapshot_state()
+                   if fault_plan is not None else None)
+    report = (status, payload, traffic.message_log(), fault_state)
     try:
         blob = pickle.dumps(report)
     except Exception as exc:  # result/exception not picklable
         fallback = ("err",
                     SimMPIError(f"rank {rank} result not picklable: {exc!r}"),
-                    traffic.message_log())
+                    traffic.message_log(), fault_state)
         blob = pickle.dumps(fallback)
-    try:
-        conn.send_bytes(blob)
-    except Exception:  # pragma: no cover - parent already gone
-        pass
+    reporter.send_bytes(blob)
     done.wait(timeout=max(timeout, 30.0))
     for q in queues:
         q.cancel_join_thread()
@@ -605,10 +844,21 @@ def _drain_queues(queues: Sequence[Any]) -> None:
             time.sleep(0.01)
 
 
+def _signal_name(signum: int | None) -> str:
+    if signum is None:
+        return ""
+    try:
+        return _signal.Signals(signum).name
+    except ValueError:  # pragma: no cover - unnamed signal
+        return f"signal {signum}"
+
+
 def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
                       timeout: float = 120.0,
                       traffic: Traffic | None = None,
-                      watchdog_s: float | None = None) -> list[Any]:
+                      watchdog_s: float | None = None,
+                      fault_plan: Any = None,
+                      heartbeat_s: float | None = None) -> list[Any]:
     """Run ``fn(comm, *args)`` on ``nranks`` forked OS processes.
 
     The process-transport twin of :func:`repro.smpi.comm.run_ranks`:
@@ -622,16 +872,39 @@ def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
     report before declaring the stragglers hung (default
     ``$REPRO_SMPI_WATCHDOG_S``, else ``2 * timeout``); see
     :func:`watchdog_seconds`.
+
+    ``fault_plan`` installs a :class:`~repro.smpi.faults.FaultPlan`:
+    each forked rank applies its inherited copy at step boundaries and
+    on the send path, and the fire-once deltas are merged back into
+    the caller's plan object (one merge per child, ascending rank
+    order) so supervised retries replay clean. Plans are validated up
+    front (:meth:`~repro.smpi.faults.FaultPlan.validate_for_transport`).
+
+    ``heartbeat_s`` enables the per-child liveness heartbeat (default
+    ``$REPRO_SMPI_HEARTBEAT_S``, else disabled); a rank silent past
+    the deadline is killed and reported as
+    :class:`~repro.smpi.errors.ProcessRankDied` with
+    ``reason="heartbeat"``. Abnormal child death (SIGKILL, nonzero
+    exit, broken pipe) is detected immediately via pipe EOF, aborts
+    the surviving ranks and raises ``ProcessRankDied`` naming rank,
+    signal and exit code.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
     if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only guard
         raise TransportError("process transport requires fork()")
+    if fault_plan is not None:
+        fault_plan.validate_for_transport("process")
+    heartbeat = heartbeat_seconds(heartbeat_s)
     out_traffic = traffic if traffic is not None else Traffic()
     ctx = mp.get_context("fork")
     # start the shm resource tracker before forking so children inherit
     # a live tracker instead of racing to spawn their own
     resource_tracker.ensure_running()
+    # run-unique shm name prefix: children stamp their segments with it
+    # so the post-run sweep can reclaim anything a killed child created
+    # but never enqueued
+    shm_prefix = f"psmpi{os.getpid()}x{uuid.uuid4().hex[:8]}"
     queues = [ctx.Queue() for _ in range(nranks)]
     pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
     abort = ctx.Event()
@@ -639,42 +912,139 @@ def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
     procs = [
         ctx.Process(target=_child_main,
                     args=(r, nranks, fn, args, queues, pipes[r][1], abort,
-                          done, timeout),
+                          done, timeout, fault_plan, heartbeat, shm_prefix),
                     name=f"smpi-proc-{r}", daemon=True)
         for r in range(nranks)
     ]
-    reports: list[tuple[str, Any, list] | None] = [None] * nranks
+    reports: list[tuple | None] = [None] * nranks
+    #: rank -> pre-death ("fault") notice payload, for crash_hard
+    death_notices: dict[int, dict] = {}
+    #: ranks whose fault-state delta was already folded into the plan
+    merged_ranks: set[int] = set()
+    heartbeat_frames = 0
+    wedged_ranks: set[int] = set()
+    died_ranks: set[int] = set()
+
+    def _merge_fault_state(r: int, state: Any) -> None:
+        if fault_plan is not None and state and r not in merged_ranks:
+            merged_ranks.add(r)
+            fault_plan.merge_state(state)
+
     try:
         for p in procs:
             p.start()
         for _parent, child in pipes:
             child.close()
         conn_rank = {pipes[r][0]: r for r in range(nranks)}
+        sentinel_rank = {procs[r].sentinel: r for r in range(nranks)}
         pending = set(range(nranks))
         watchdog = watchdog_seconds(timeout, watchdog_s)
-        deadline = time.monotonic() + watchdog
+        start = time.monotonic()
+        deadline = start + watchdog
+        last_beat = {r: start for r in range(nranks)}
+        # grace between "went silent" and the kill: long enough for a
+        # wedged-but-aborted rank to report SimAbort, short enough that
+        # the typed error still lands well inside the deadline
+        hb_grace = min(2.0, heartbeat) if heartbeat is not None else 0.0
 
-        def _collect(until: float) -> None:
+        def _read_frame(r: int, conn: Any, now: float) -> bool:
+            """Read one frame off rank ``r``'s pipe; False on EOF."""
+            nonlocal heartbeat_frames
+            try:
+                frame = pickle.loads(conn.recv_bytes())
+            except (EOFError, OSError):
+                return False
+            if frame[0] == "hb":
+                last_beat[r] = now
+                heartbeat_frames += 1
+            elif frame[0] == "fault":
+                # pre-death notice from a crash_hard about to SIGKILL;
+                # the sentinel fires right after
+                death_notices[r] = frame[1]
+                _merge_fault_state(r, frame[1].get("state"))
+                last_beat[r] = now
+            else:
+                reports[r] = frame
+                pending.discard(r)
+                if len(frame) >= 4:
+                    _merge_fault_state(r, frame[3])
+            return True
+
+        def _mark_died(r: int) -> None:
+            """Rank ``r``'s process is gone with no final report.
+
+            Drain any frames it flushed before dying (a crash_hard
+            notice, trailing heartbeats); if that still yields no
+            final report, record the abnormal death and abort the
+            survivors immediately — they must not block until the
+            watchdog on a peer that no longer exists.
+            """
+            conn = pipes[r][0]
+            now = time.monotonic()
+            while r in pending and conn.poll(0):
+                if not _read_frame(r, conn, now):
+                    break
+            if r in pending:
+                died_ranks.add(r)
+                reports[r] = None
+                pending.discard(r)
+                abort.set()
+
+        def _pump_frames(until: float) -> None:
+            """Read frames until the deadline or all ranks reported.
+
+            Waits on each pending rank's result pipe *and* its process
+            sentinel: pipe EOF alone cannot signal death, because
+            every fork child inherits every pipe's write end, so a
+            SIGKILLed rank's pipe stays open in its siblings.
+            """
             while pending and time.monotonic() < until:
+                wait_t = min(0.2, max(0.0, until - time.monotonic()))
+                if heartbeat is not None:
+                    wait_t = min(wait_t, heartbeat / 4.0)
                 ready = _mpconn.wait(
-                    [pipes[r][0] for r in pending],
-                    timeout=min(0.2, max(0.0, until - time.monotonic())))
-                for conn in ready:
-                    r = conn_rank[conn]
-                    try:
-                        reports[r] = pickle.loads(conn.recv_bytes())
-                    except (EOFError, OSError):
-                        reports[r] = ("died", None, [])
-                    pending.discard(r)
+                    [pipes[r][0] for r in pending]
+                    + [procs[r].sentinel for r in pending],
+                    timeout=wait_t)
+                now = time.monotonic()
+                dead_now: list[int] = []
+                for obj in ready:
+                    r = conn_rank.get(obj)
+                    if r is None:
+                        dead_now.append(sentinel_rank[obj])
+                        continue
+                    if r in pending and not _read_frame(r, pipes[r][0], now):
+                        dead_now.append(r)
+                for r in sorted(set(dead_now)):
+                    if r in pending:
+                        _mark_died(r)
+                if heartbeat is not None:
+                    now = time.monotonic()
+                    for r in sorted(pending):
+                        silent = now - last_beat[r]
+                        if silent <= heartbeat:
+                            continue
+                        # first offense: wake it (a blocked rank reports
+                        # SimAbort within one poll step) ...
+                        abort.set()
+                        if silent <= heartbeat + hb_grace:
+                            continue
+                        # ... still silent past the grace: wedged; kill
+                        # it so the run fails typed instead of hanging
+                        if procs[r].is_alive():
+                            procs[r].kill()
+                        wedged_ranks.add(r)
+                        reports[r] = None
+                        pending.discard(r)
 
-        _collect(deadline)
+        _pump_frames(deadline)
         if pending:
             # watchdog expired: wake blocked ranks, give them a short
             # grace to report SimAbort, then declare them hung
             abort.set()
-            _collect(time.monotonic() + 5.0)
+            _pump_frames(time.monotonic() + 5.0)
             for r in pending:
-                reports[r] = ("hung", None, [])
+                reports[r] = ("hung", None, [], None)
             pending.clear()
         _drain_queues(queues)
         done.set()
@@ -693,6 +1063,24 @@ def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
             q.close()
         for parent, _child in pipes:
             parent.close()
+        for p in procs:
+            if p.pid is not None:  # never-started procs cannot be joined
+                p.join(timeout=5.0)
+        # last-resort shm reclamation: segments created by a killed
+        # child that never made it into a queue (the drain can't see
+        # those) still carry this run's name prefix
+        swept = _sweep_shm_prefix(shm_prefix)
+
+    rec = active_recorder()
+    if rec is not None:
+        if heartbeat_frames:
+            rec.counter("smpi.process.heartbeats", heartbeat_frames)
+        if wedged_ranks:
+            rec.counter("smpi.process.heartbeat_reaped", len(wedged_ranks))
+        if died_ranks:
+            rec.counter("smpi.process.died", len(died_ranks))
+        if swept:
+            rec.counter("smpi.process.shm_swept", swept)
 
     # merge per-rank logs in ascending rank order: the canonical
     # sender-ordered schedule, deterministic run to run
@@ -702,21 +1090,46 @@ def run_ranks_process(nranks: int, fn: Callable[..., Any], args: tuple = (),
 
     failures: list[tuple[int, BaseException]] = []
     for r, report in enumerate(reports):
+        if r in wedged_ranks:
+            failures.append((r, ProcessRankDied(
+                f"rank {r} sent no heartbeat for more than "
+                f"{heartbeat:.1f}s (${HEARTBEAT_ENV} / heartbeat_s) and "
+                f"was killed — wedged rank", rank=r, signal=None,
+                exitcode=procs[r].exitcode, reason="heartbeat")))
+            continue
         status = report[0] if report is not None else "died"
         if status == "err":
             failures.append((r, report[1]))
         elif status == "died":
             code = procs[r].exitcode
-            failures.append((r, SimMPIError(
-                f"rank {r} process died without reporting "
-                f"(exitcode {code})")))
+            signum = -code if (code is not None and code < 0) else None
+            notice = death_notices.get(r)
+            if notice is not None:
+                failures.append((r, ProcessRankDied(
+                    f"rank {r} process killed by injected crash_hard at "
+                    f"step {notice.get('step')}"
+                    + (f" ({_signal_name(signum)})" if signum else ""),
+                    rank=r, step=notice.get("step"), signal=signum,
+                    exitcode=code, reason="exit")))
+            else:
+                detail = (f"killed by {_signal_name(signum)}" if signum
+                          else f"exitcode {code}")
+                failures.append((r, ProcessRankDied(
+                    f"rank {r} process died without reporting ({detail})",
+                    rank=r, signal=signum, exitcode=code, reason="exit")))
         elif status == "hung":
-            failures.append((r, SimMPIError(
+            failures.append((r, ProcessRankDied(
                 f"rank {r} failed to terminate within the {watchdog:.1f}s "
                 f"watchdog (${WATCHDOG_ENV} / watchdog_s) — deadlock? "
-                f"(process transport has no wait-for-graph detector)")))
+                f"(process transport has no wait-for-graph detector)",
+                rank=r, exitcode=procs[r].exitcode, reason="watchdog")))
     if failures:
-        failures.sort(key=lambda pair: pair[0])
+        # abnormal deaths are the root cause — a peer's secondary
+        # timeout must not shadow them; then lowest rank first, as on
+        # the thread transport
+        failures.sort(key=lambda pair: (
+            0 if (pair[0] in died_ranks or pair[0] in wedged_ranks) else 1,
+            pair[0]))
         raise failures[0][1]
     if any(report is not None and report[0] == "abort" for report in reports):
         # every rank either aborted or succeeded, yet nobody reported

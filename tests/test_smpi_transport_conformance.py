@@ -359,13 +359,31 @@ class TestTransportSelection:
         assert resolve_transport("thread") == "thread"
 
     def test_process_rejects_scheduler(self):
-        with pytest.raises(TransportError, match="scheduler"):
+        """The one remaining thread-only feature; the message is API —
+        it must name the feature and the fix precisely."""
+        with pytest.raises(
+                TransportError,
+                match=r"process transport does not support scheduler; "
+                      r"deterministic scheduling requires "
+                      r"transport='thread'"):
             run_ranks(2, _ring, transport="process",
                       scheduler=DeterministicScheduler(seed=1))
 
-    def test_process_rejects_fault_plan(self):
-        with pytest.raises(TransportError, match="fault_plan"):
-            run_ranks(2, _ring, transport="process", fault_plan=FaultPlan())
+    def test_process_accepts_fault_plan(self):
+        """Fault plans pass through since the process transport became
+        a fault domain; an empty plan is a no-op."""
+        assert run_ranks(2, _ring, transport="process", timeout=TIMEOUT,
+                         fault_plan=FaultPlan()) is not None
+
+    def test_thread_rejects_crash_hard(self):
+        with pytest.raises(TransportError, match="crash_hard"):
+            run_ranks(2, _ring, transport="thread", timeout=TIMEOUT,
+                      fault_plan=FaultPlan().crash_hard(rank=0, step=0))
+
+    def test_process_rejects_wildcard_src_message_fault(self):
+        with pytest.raises(TransportError, match="explicit src"):
+            run_ranks(2, _ring, transport="process", timeout=TIMEOUT,
+                      fault_plan=FaultPlan().drop(dst=1))
 
 
 # --------------------------------------------------------------------------
